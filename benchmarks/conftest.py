@@ -1,0 +1,23 @@
+"""Benchmark-harness helpers.
+
+Every paper table/figure has one bench module.  Each bench runs the
+figure's ``compute`` at evaluation scale through pytest-benchmark,
+asserts the paper's qualitative claims on the result, and prints the
+same rows/series the paper reports (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+def run_once(benchmark, fn: Callable, **kwargs):
+    """Benchmark an expensive figure exactly once (no warmup rounds)."""
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+
+
+def emit(lines: List[str]) -> None:
+    """Print a figure's report block (shown under ``pytest -s``)."""
+    print()
+    for line in lines:
+        print(line)

@@ -1,0 +1,37 @@
+"""Bench: Fig. 10 — worked 4-client pairing example."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_canonical_example(benchmark):
+    result = run_once(benchmark, fig10.compute)
+
+    # Paper: serial = 15 units; the adjacent pairing (C1|C2, C3|C4) is
+    # the best of the three; every pairing beats serial; the blossom
+    # scheduler finds the overall optimum.
+    assert abs(result.serial_units - 15.0) < 1e-6
+    assert result.best_pairing == "(C1|C2, C3|C4)"
+    assert all(u < result.serial_units
+               for u in result.pairing_units.values())
+    assert result.scheduler_units <= min(
+        min(result.pairing_units.values()),
+        result.power_control_units, result.multirate_units) + 1e-9
+
+    emit(["Fig. 10 (canonical 1:2:4:8 example; paper values 15 / 11.5 "
+          "/ 12 / 13 / 11 / 10.4 are illustrative)"] + result.rows())
+
+
+def test_fig10_detuned_example(benchmark):
+    result = run_once(benchmark, fig10.compute, detuned=True)
+
+    # With imperfect pairs, power control and multirate strictly
+    # improve (the 11.5 -> 11 -> 10.4 progression of Figs. 10e/10f).
+    best_pairing = min(result.pairing_units.values())
+    assert result.power_control_units < min(best_pairing,
+                                            result.serial_units)
+    assert result.multirate_units <= result.power_control_units + 1e-9
+    assert result.scheduler_units <= result.multirate_units + 1e-9
+
+    emit(["Fig. 10 (detuned imperfect-pair variant)"] + result.rows())

@@ -1,0 +1,22 @@
+"""Bench: Fig. 3 — relative capacity gain heatmap."""
+
+import numpy as np
+
+from conftest import emit, run_once
+
+from repro.experiments import fig3
+from repro.util.containers import ascii_heatmap
+
+
+def test_fig3_capacity_gain_heatmap(benchmark):
+    grid = run_once(benchmark, fig3.compute, n_points=201)
+
+    # Paper claims: gain always >= 1, "not high in general", largest
+    # when RSSs are smaller and similar.
+    assert grid.min_value >= 1.0
+    assert np.median(grid.values) < 1.2
+    peak = grid.argmax()
+    assert peak["SNR1 (dB)"] <= 3.0 and peak["SNR2 (dB)"] <= 3.0
+    assert 1.4 < grid.max_value <= 2.0
+
+    emit(grid.summary_strings() + ["", ascii_heatmap(grid)])

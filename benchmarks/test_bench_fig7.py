@@ -1,0 +1,34 @@
+"""Bench: Fig. 7 / Section 4 — SIC across architectures."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_architectures(benchmark):
+    result = run_once(benchmark, fig7.compute, n_ewlan_grids=150,
+                      n_residential_rows=500, seed=2010)
+
+    ewlan = result["ewlan"]
+    residential = result["residential"]
+    mesh = result["mesh"]
+
+    # §4.1: nearest-AP association -> capture dominates, SIC unneeded.
+    assert ewlan.capture_fraction > 0.9
+    assert ewlan.mean_gain < 1.02
+    # §4.2: the residential lock creates a (small) opportunity set that
+    # the enterprise setting lacks, but gains stay negligible.
+    assert residential.sic_feasible_fraction > \
+        ewlan.sic_feasible_fraction
+    assert residential.gain_summary["frac_gain_over_10pct"] < 0.05
+    # §4.3: long-short-long chains admit SIC, equalised chains do not,
+    # and the frontier grows with the long-hop length.
+    feasible = {(a.long_hop_m, a.short_hop_m)
+                for a in mesh if a.sic_feasible}
+    assert (60.0, 2.0) in feasible
+    assert (20.0, 20.0) not in feasible
+    frontier = result["mesh_frontier"]
+    limits = [frontier[k] for k in sorted(frontier) if frontier[k]]
+    assert limits == sorted(limits)
+
+    emit(["Fig. 7 / Section 4 — architectures"] + fig7.render(result))

@@ -1,0 +1,24 @@
+"""Bench: Fig. 8 — download, two APs to one client."""
+
+import numpy as np
+
+from conftest import emit, run_once
+
+from repro.experiments import fig4, fig8
+from repro.util.containers import ascii_heatmap
+
+
+def test_fig8_download_heatmap(benchmark):
+    grid = run_once(benchmark, fig8.compute, n_points=201)
+
+    # Paper claims: "very little benefit from SIC" in download; gains
+    # only where one RSS is roughly the square of the other, always
+    # weaker than the upload (Fig. 4) gains.
+    assert grid.min_value >= 1.0
+    assert grid.max_value < 1.35
+    upload = fig4.compute(n_points=201)
+    assert np.all(grid.values <= np.maximum(upload.values, 1.0) + 1e-9)
+
+    emit(grid.summary_strings()
+         + [f"  (upload Fig. 4 peak for comparison: "
+            f"{upload.max_value:.3f})", "", ascii_heatmap(grid)])

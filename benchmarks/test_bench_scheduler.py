@@ -1,0 +1,50 @@
+"""Bench: Fig. 12 / Section 6 — the SIC-aware scheduler.
+
+Covers both halves of the scheduling claim: the blossom matching finds
+the optimal pairing (ties brute force, beats greedy/random/serial) and
+runs in polynomial time on realistic WLAN sizes.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+
+from repro.experiments import fig12
+from repro.scheduling.scheduler import SicScheduler
+from repro.techniques.pairing import TechniqueSet
+from repro.util.rng import make_rng
+
+
+def test_fig12_policy_comparison(benchmark):
+    result = run_once(benchmark, fig12.compute,
+                      sizes=(3, 5, 8, 12, 20), n_trials=30, seed=2010)
+
+    for comparison in result["comparisons"]:
+        times = comparison.mean_times
+        if "brute_force" in times:
+            assert times["blossom"] == pytest.approx(
+                times["brute_force"], rel=1e-9)
+        assert times["blossom"] <= times["greedy"] + 1e-12
+        assert times["greedy"] <= times["serial"] + 1e-12
+
+    lines = ["Fig. 12 / Section 6 — scheduler vs baselines "
+             "(mean gain over serial, 30 trials per size)"]
+    for comparison in result["comparisons"]:
+        parts = ", ".join(f"{name} {gain:.3f}x"
+                          for name, gain in comparison.mean_gains.items())
+        lines.append(f"  n={comparison.n_clients:>3}: {parts}")
+    lines.append("  runtime: " + ", ".join(
+        f"n={n}: {t * 1e3:.1f} ms" for n, t in result["runtime"].items()))
+    emit(lines)
+
+
+@pytest.mark.parametrize("n_clients", [8, 16, 32, 64])
+def test_scheduler_runtime_scaling(benchmark, n_clients):
+    """Raw scheduling latency per backlog size (the O(n^3) claim)."""
+    rng = make_rng(2010)
+    scheduler = SicScheduler(techniques=TechniqueSet.ALL)
+    clients = fig12.random_clients(n_clients, rng,
+                                   noise_w=scheduler.channel.noise_w)
+    schedule = benchmark(lambda: scheduler.schedule(clients))
+    assert sorted(schedule.client_names) == sorted(
+        c.name for c in clients)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Multi-packet backlogs, fairness, and MAC overheads (extensions).
+
+The paper's scheduler handles one packet per client; Section 3 notes
+that real clients hold *queues* and "need to get a fair share of the
+channel".  This example drains uneven backlogs with round-based
+blossom re-pairing (:mod:`repro.scheduling.backlog`), reports Jain
+fairness over per-client finish times, and then restores the 802.11
+MAC overheads the paper discounts (:mod:`repro.sim.overhead`) to see
+what survives.
+
+Run:  python examples/backlog_fairness.py
+"""
+
+from repro.phy import Channel, thermal_noise_watts
+from repro.scheduling.backlog import BacklogClient, drain_backlog
+from repro.scheduling.scheduler import SicScheduler
+from repro.sim.overhead import DOT11G_OVERHEADS, apply_overheads
+from repro.techniques import TechniqueSet
+
+
+def main() -> int:
+    channel = Channel(bandwidth_hz=20e6, noise_w=thermal_noise_watts(20e6))
+    n0 = channel.noise_w
+    scheduler = SicScheduler(channel=channel, techniques=TechniqueSet.ALL)
+
+    print("== 1. Draining an uneven backlog ==")
+    backlog = [
+        BacklogClient("alice", 10 ** (32 / 10) * n0, backlog=5),
+        BacklogClient("bob", 10 ** (26 / 10) * n0, backlog=2),
+        BacklogClient("carol", 10 ** (16 / 10) * n0, backlog=4),
+        BacklogClient("dave", 10 ** (12 / 10) * n0, backlog=1),
+    ]
+    result = drain_backlog(scheduler, backlog)
+    print(f"{sum(c.backlog for c in backlog)} packets over "
+          f"{result.n_rounds} rounds")
+    print(f"total time {result.total_time_s * 1e3:.3f} ms vs serial "
+          f"{result.serial_time_s * 1e3:.3f} ms -> gain "
+          f"{result.gain:.3f}x")
+    print("per-client finish times:")
+    for name, finish in sorted(result.finish_times_s.items(),
+                               key=lambda item: item[1]):
+        client = next(c for c in backlog if c.name == name)
+        print(f"  {name:>6}: {finish * 1e3:7.3f} ms "
+              f"({client.backlog} packets)")
+    print(f"Jain fairness index: {result.fairness_index():.3f} "
+          "(1.0 = everyone finishes together)\n")
+
+    print("== 2. Round-by-round pairing ==")
+    for i, schedule in enumerate(result.rounds, start=1):
+        slots = ", ".join("|".join(slot.clients)
+                          for slot in schedule.slots)
+        print(f"round {i}: [{slots}]  "
+              f"({schedule.total_time_s * 1e3:.3f} ms, "
+              f"gain {schedule.gain:.3f}x)")
+    print()
+
+    print("== 3. Adding the MAC overheads the paper discounts ==")
+    single_round = scheduler.schedule(
+        [c.as_upload_client() for c in backlog])
+    adjusted = apply_overheads(single_round, DOT11G_OVERHEADS)
+    print(f"one-packet-each round, idealised: gain "
+          f"{single_round.gain:.3f}x")
+    print(f"with full 802.11g overheads:      gain {adjusted.gain:.3f}x "
+          f"(overheads are {adjusted.overhead_fraction:.0%} of airtime)")
+    print("\nPairing halves the number of channel accesses, so the "
+          "fixed per-access\ncosts (DIFS + backoff + preamble) actually "
+          "*favour* SIC — one of the\nthings the back-of-the-envelope "
+          "analysis leaves on the table.\n")
+
+    print("== 4. Online arrivals: delay, not just airtime ==")
+    from repro.scheduling.online import (
+        ArrivalClient,
+        compare_policies_online,
+    )
+    arrival_clients = [
+        ArrivalClient(c.name, c.rss_w, arrival_rate_hz=4000.0)
+        for c in backlog
+    ]
+    comparison = compare_policies_online(scheduler, arrival_clients,
+                                         horizon_s=0.25, seed=2010)
+    for policy, metrics in comparison.items():
+        print(f"  {policy:>12}: mean sojourn "
+              f"{metrics.mean_delay_s * 1e3:7.3f} ms, p95 "
+              f"{metrics.p95_delay_s * 1e3:7.3f} ms "
+              f"({metrics.served_packets} packets, utilisation "
+              f"{metrics.utilisation:.0%})")
+    print("\nUnder load the pairing gain becomes a *stability margin*: "
+          "the FIFO queue\ngrows without bound at an offered load the "
+          "SIC-paired AP absorbs easily.")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

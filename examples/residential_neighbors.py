@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Residential WLANs: when does a neighbour's AP help you? (Section 4.2)
+
+In an apartment row each client is WPA-locked to its own home's AP —
+even when the neighbour's AP is closer.  The paper's observation:
+"strangely, this restriction provides some opportunities for SIC".  A
+client whose own AP is farther than the neighbour's can decode the
+neighbour's (stronger) downlink packet first, cancel it, and extract
+its own packet from the residue — so both homes' downlinks can run
+concurrently.
+
+This example runs :func:`repro.architectures.residential
+.evaluate_residential_rows` over random apartment rows, contrasts it
+with the enterprise setting (where nearest-AP association removes the
+opportunity entirely), and prints the Fig. 5 case mix.
+
+Run:  python examples/residential_neighbors.py [n_rows] [seed]
+"""
+
+import sys
+
+from repro.architectures import (
+    evaluate_ewlan_cross_pairs,
+    evaluate_residential_rows,
+)
+from repro.phy import Channel, thermal_noise_watts
+from repro.sic import PairCase
+
+
+def main() -> int:
+    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    channel = Channel(bandwidth_hz=20e6, noise_w=thermal_noise_watts(20e6))
+    report = evaluate_residential_rows(n_rows=n_rows, channel=channel,
+                                       seed=seed)
+
+    print(f"{report.n_pairs} cross-home downlink pairs from {n_rows} "
+          f"apartment rows (4 homes each, 6 dB shadowing)\n")
+    print("Fig. 5 case mix (who needs SIC):")
+    for case in PairCase:
+        share = report.case_fractions.get(case, 0.0)
+        print(f"  case {case.value} ({case.name.lower():>12}): {share:6.1%}")
+    print(f"\nSIC feasible (neighbour packet decodable): "
+          f"{report.sic_feasible_fraction:.1%} of pairs")
+    summary = report.gain_summary
+    print("Concurrent-downlink gain over serial:")
+    print(f"  no gain: {summary['frac_no_gain']:.1%}   "
+          f">10%: {summary['frac_gain_over_10pct']:.1%}   "
+          f">20%: {summary['frac_gain_over_20pct']:.1%}   "
+          f"max: {summary['max']:.2f}x")
+
+    # Contrast: enterprise association freedom removes the opportunity.
+    ewlan = evaluate_ewlan_cross_pairs(n_grids=max(20, n_rows // 4),
+                                       channel=channel, seed=seed)
+    print(f"\nEnterprise contrast (nearest-AP association): capture in "
+          f"{ewlan.capture_fraction:.1%} of cross pairs, SIC feasible in "
+          f"{ewlan.sic_feasible_fraction:.1%}")
+
+    print("\nPaper's conclusions reproduced: the residential lock does "
+          "create SIC\nopportunities (cases b/c with a decodable neighbour "
+          "packet) that the\nenterprise setting lacks — but they are a "
+          "small minority of pairs, and, as\nthe two-receiver analysis "
+          "(Fig. 6) predicts, even the feasible ones yield\nalmost no "
+          "completion-time gain under ideal rate adaptation.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""WLAN upload scheduling: the paper's headline scenario at scale.
+
+Places a cell of clients around one SIC-capable AP, builds the optimal
+SIC-aware schedule (blossom matching over pair costs, Section 6),
+compares it against serial / greedy / random policies, and *executes*
+every schedule in the event-driven simulator to confirm the predicted
+completion times and that every packet decodes.
+
+Run:  python examples/wlan_upload_scheduling.py [n_clients] [seed]
+"""
+
+import sys
+
+from repro.phy import Channel, LogDistancePathLoss, thermal_noise_watts
+from repro.scheduling import (
+    SicScheduler,
+    UploadClient,
+    greedy_schedule,
+    random_schedule,
+    serial_schedule,
+)
+from repro.sim import UplinkSimulator
+from repro.techniques import TechniqueSet
+from repro.topology import random_uplink_clients
+from repro.topology.nodes import DEFAULT_TX_POWER_W
+from repro.util import linear_to_db
+
+
+def build_backlog(n_clients: int, seed: int, channel: Channel):
+    """Place clients physically and derive their RSS at the AP."""
+    topo = random_uplink_clients(n_clients, cell_radius_m=40.0, rng=seed)
+    propagation = LogDistancePathLoss(exponent=3.5)
+    clients = []
+    for client in topo.clients:
+        rss = float(propagation.received_power(
+            DEFAULT_TX_POWER_W, client.distance_to(topo.ap)))
+        clients.append(UploadClient(client.name, rss))
+    return topo, clients
+
+
+def main() -> int:
+    n_clients = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2010
+
+    channel = Channel(bandwidth_hz=20e6, noise_w=thermal_noise_watts(20e6))
+    topo, clients = build_backlog(n_clients, seed, channel)
+
+    print(f"Backlog: {n_clients} clients in a 40 m cell (seed {seed})")
+    for node, client in zip(topo.clients, clients):
+        snr_db = linear_to_db(client.rss_w / channel.noise_w)
+        print(f"  {client.name:>4}: {node.distance_to(topo.ap):5.1f} m "
+              f"from AP, SNR {snr_db:5.1f} dB")
+    print()
+
+    scheduler = SicScheduler(channel=channel, packet_bits=12_000.0,
+                             techniques=TechniqueSet.ALL)
+    simulator = UplinkSimulator(channel=channel)
+
+    policies = {
+        "serial (802.11 today)": serial_schedule(scheduler, clients),
+        "random pairing": random_schedule(scheduler, clients, rng=seed),
+        "greedy pairing": greedy_schedule(scheduler, clients),
+        "blossom (paper Sec. 6)": scheduler.schedule(clients),
+    }
+
+    print(f"{'policy':>24} | {'predicted':>10} | {'simulated':>10} | "
+          f"{'gain':>6} | decoded")
+    print("-" * 72)
+    for name, schedule in policies.items():
+        metrics = simulator.run(schedule, clients)
+        status = "all" if metrics.all_decoded else \
+            f"{metrics.failed_count} FAILED"
+        print(f"{name:>24} | {schedule.total_time_s * 1e3:8.3f} ms | "
+              f"{metrics.completion_time_s * 1e3:8.3f} ms | "
+              f"{schedule.gain:5.3f}x | {status}")
+
+    print()
+    print("Optimal schedule detail:")
+    print(policies["blossom (paper Sec. 6)"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

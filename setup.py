@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment has no `wheel` package, so modern PEP-517
+editable installs (`pip install -e .`) cannot build; `python setup.py
+develop` (or `pip install -e . --no-build-isolation` on newer
+setuptools) uses this shim instead.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

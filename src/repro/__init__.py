@@ -1,0 +1,31 @@
+"""repro — reproduction of "Successive Interference Cancellation: a
+Back-of-the-Envelope Perspective" (HotNets 2010 / IEEE TMC).
+
+Subpackages
+-----------
+``repro.util``        units, CDFs, RNG plumbing, result containers
+``repro.phy``         Shannon rates, propagation, discrete 802.11 rates
+``repro.topology``    geometry, node types, scenario generators
+``repro.sic``         SIC receiver model, capacity and airtime analysis
+``repro.techniques``  pairing, power reduction, multirate, packing
+``repro.scheduling``  blossom matching and the SIC-aware scheduler
+``repro.sim``         event-driven WLAN simulator (cross-validation)
+``repro.traces``      synthetic trace substrate (Duke-trace stand-in)
+``repro.experiments`` one module per paper figure + Monte-Carlo engine
+
+Quickstart
+----------
+>>> from repro.phy import Channel
+>>> from repro.sic import capacity_gain
+>>> ch = Channel(bandwidth_hz=20e6, noise_w=1e-13)
+>>> gain = capacity_gain(ch, 1e-9, 1e-9)   # two equal-RSS signals
+>>> gain > 1.0
+True
+"""
+
+__version__ = "1.0.0"
+
+from repro.phy.shannon import Channel
+from repro.sic.receiver import SicReceiver, Transmission
+
+__all__ = ["Channel", "SicReceiver", "Transmission", "__version__"]

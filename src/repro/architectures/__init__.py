@@ -1,0 +1,40 @@
+"""Architecture-level analyses (paper Section 4).
+
+The paper walks three deployment archetypes and asks where SIC pays:
+
+* :mod:`repro.architectures.ewlan` — enterprise WLANs (Fig. 7a):
+  upload to a shared AP benefits; nearest-AP association makes the
+  cross-AP cases capture-dominated, so SIC is not needed there;
+* :mod:`repro.architectures.residential` — apartment rows (Fig. 7b):
+  the WPA lock to the home AP *creates* SIC opportunities, but they
+  are rare and worth little under ideal rate adaptation;
+* :mod:`repro.architectures.mesh` — multihop chains (Fig. 7c):
+  long-short-long hop patterns enable SIC at the middle node
+  (self-interference overlap), equalised chains break it.
+"""
+
+from repro.architectures.ewlan import (
+    EwlanCrossPairReport,
+    evaluate_ewlan_cross_pairs,
+)
+from repro.architectures.mesh import (
+    ChainAnalysis,
+    analyse_chain,
+    sweep_chain_geometries,
+)
+from repro.architectures.residential import (
+    ResidentialReport,
+    evaluate_residential_rows,
+    residential_downlink_pairs,
+)
+
+__all__ = [
+    "ChainAnalysis",
+    "EwlanCrossPairReport",
+    "ResidentialReport",
+    "analyse_chain",
+    "evaluate_ewlan_cross_pairs",
+    "evaluate_residential_rows",
+    "residential_downlink_pairs",
+    "sweep_chain_geometries",
+]

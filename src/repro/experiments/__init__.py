@@ -1,0 +1,28 @@
+"""Experiment modules: one per paper figure, plus the Monte-Carlo engine.
+
+Use the registry to run them programmatically::
+
+    from repro.experiments.registry import run_experiment
+    for line in run_experiment("fig4", n_points=51):
+        print(line)
+
+or from the command line::
+
+    python -m repro.experiments fig4
+    python -m repro.experiments all --quick
+    python -m repro.experiments claims
+"""
+
+from repro.experiments.montecarlo import (
+    MonteCarloConfig,
+    one_receiver_technique_gains,
+    two_receiver_gains,
+    two_receiver_technique_gains,
+)
+
+__all__ = [
+    "MonteCarloConfig",
+    "one_receiver_technique_gains",
+    "two_receiver_gains",
+    "two_receiver_technique_gains",
+]

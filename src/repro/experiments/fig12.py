@@ -1,0 +1,115 @@
+"""Fig. 12 / Section 6 — the scheduling-to-matching reduction itself.
+
+Fig. 12 is a schematic, not a data plot; what is checkable is the
+reduction's *behaviour*: the blossom-based scheduler finds the optimal
+pairing (equal to brute force for small n), beats greedy and random
+pairing, handles odd client counts through the dummy node, and scales
+polynomially.  This module produces those numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.phy.noise import thermal_noise_watts
+from repro.phy.shannon import Channel
+from repro.scheduling.baselines import (
+    brute_force_schedule,
+    greedy_schedule,
+    random_schedule,
+    serial_schedule,
+)
+from repro.scheduling.scheduler import SicScheduler, UploadClient
+from repro.techniques.pairing import TechniqueSet
+from repro.util.rng import SeedLike, make_rng
+
+DEFAULT_BANDWIDTH_HZ = 20e6
+
+
+def random_clients(n: int, rng, snr_db_low: float = 3.0,
+                   snr_db_high: float = 45.0,
+                   noise_w: float = None) -> List[UploadClient]:
+    """Clients with log-uniform SNRs, the scheduler's natural workload."""
+    if noise_w is None:
+        noise_w = thermal_noise_watts(DEFAULT_BANDWIDTH_HZ)
+    snrs_db = rng.uniform(snr_db_low, snr_db_high, size=n)
+    return [UploadClient(f"C{i + 1}", float(10.0 ** (snr / 10.0)) * noise_w)
+            for i, snr in enumerate(snrs_db)]
+
+
+@dataclass(frozen=True)
+class SchedulerComparison:
+    """Mean completion times of every scheduling policy, per n."""
+
+    n_clients: int
+    mean_times: Dict[str, float]
+    mean_gains: Dict[str, float]
+
+
+def compare_policies(n_clients: int, n_trials: int = 50,
+                     techniques: TechniqueSet = TechniqueSet.ALL,
+                     seed: SeedLike = 2010,
+                     include_brute_force: bool = None) -> SchedulerComparison:
+    """Blossom vs greedy vs random vs serial (vs brute force if small)."""
+    if include_brute_force is None:
+        include_brute_force = n_clients <= 8
+    rng = make_rng(seed)
+    channel = Channel(bandwidth_hz=DEFAULT_BANDWIDTH_HZ,
+                      noise_w=thermal_noise_watts(DEFAULT_BANDWIDTH_HZ))
+    scheduler = SicScheduler(channel=channel, techniques=techniques)
+    policies = {
+        "blossom": lambda clients: scheduler.schedule(clients),
+        "greedy": lambda clients: greedy_schedule(scheduler, clients),
+        "random": lambda clients: random_schedule(scheduler, clients, rng),
+        "serial": lambda clients: serial_schedule(scheduler, clients),
+    }
+    if include_brute_force:
+        policies["brute_force"] = (
+            lambda clients: brute_force_schedule(scheduler, clients))
+
+    times = {name: [] for name in policies}
+    gains = {name: [] for name in policies}
+    for _ in range(n_trials):
+        clients = random_clients(n_clients, rng, noise_w=channel.noise_w)
+        serial_time = scheduler.serial_time(clients)
+        for name, policy in policies.items():
+            schedule = policy(clients)
+            times[name].append(schedule.total_time_s)
+            gains[name].append(serial_time / schedule.total_time_s)
+    return SchedulerComparison(
+        n_clients=n_clients,
+        mean_times={k: float(np.mean(v)) for k, v in times.items()},
+        mean_gains={k: float(np.mean(v)) for k, v in gains.items()},
+    )
+
+
+def runtime_scaling(sizes: Sequence[int] = (4, 8, 16, 32, 64),
+                    seed: SeedLike = 2010) -> Dict[int, float]:
+    """Wall-clock seconds to schedule one instance of each size."""
+    rng = make_rng(seed)
+    channel = Channel(bandwidth_hz=DEFAULT_BANDWIDTH_HZ,
+                      noise_w=thermal_noise_watts(DEFAULT_BANDWIDTH_HZ))
+    scheduler = SicScheduler(channel=channel, techniques=TechniqueSet.ALL)
+    out: Dict[int, float] = {}
+    for n in sizes:
+        clients = random_clients(n, rng, noise_w=channel.noise_w)
+        start = time.perf_counter()
+        scheduler.schedule(clients)
+        out[n] = time.perf_counter() - start
+    return out
+
+
+def compute(sizes: Sequence[int] = (3, 5, 8, 12, 20),
+            n_trials: int = 30,
+            seed: SeedLike = 2010) -> Dict[str, object]:
+    """The full Fig. 12 behavioural study."""
+    comparisons = [compare_policies(n, n_trials=n_trials, seed=seed)
+                   for n in sizes]
+    return {
+        "comparisons": comparisons,
+        "runtime": runtime_scaling(seed=seed),
+    }

@@ -1,0 +1,267 @@
+"""Monte-Carlo engines behind Figs. 6 and 11.
+
+Each engine draws random building-block topologies, evaluates the gain
+metric per draw, and returns the raw gain samples (the figure modules
+turn those into CDFs and summary rows).
+
+The placement recipe follows Section 3.2: transmitters a fixed *range*
+apart, receivers uniform within range of their transmitter, RSS from
+log-distance path loss with exponent alpha (default 4), gain computed
+as ``Z_{-SIC} / Z_{+SIC}`` over 10 000 draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.phy.noise import thermal_noise_watts
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.phy.shannon import Channel
+from repro.sic.scenarios import PairRss, evaluate_pair_scenario
+from repro.techniques.multirate import multirate_pair_airtime
+from repro.techniques.packing import pack_pair_links
+from repro.techniques.power_control import power_controlled_pair_airtime
+from repro.sic.airtime import z_serial_same_receiver, z_sic_same_receiver
+from repro.topology.generators import random_pair_topology, random_uplink_clients
+from repro.topology.nodes import DEFAULT_TX_POWER_W
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Shared Monte-Carlo parameters (paper defaults)."""
+
+    n_samples: int = 10_000
+    range_m: float = 20.0
+    pathloss_exponent: float = 4.0
+    tx_power_w: float = DEFAULT_TX_POWER_W
+    bandwidth_hz: float = 20e6
+    packet_bits: float = 12_000.0
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise ValueError("need at least one sample")
+
+    def channel(self) -> Channel:
+        return Channel(bandwidth_hz=self.bandwidth_hz,
+                       noise_w=thermal_noise_watts(self.bandwidth_hz))
+
+    def propagation(self) -> LogDistancePathLoss:
+        return LogDistancePathLoss(exponent=self.pathloss_exponent)
+
+
+def two_receiver_gains(config: MonteCarloConfig,
+                       seed: SeedLike = None) -> np.ndarray:
+    """Fig. 6: SIC gain samples for random two-pair topologies."""
+    gains, _ = two_receiver_scenarios(config, seed)
+    return gains
+
+
+def two_receiver_scenarios(config: MonteCarloConfig,
+                           seed: SeedLike = None
+                           ) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Gain samples plus the Fig. 5 case mix of the sampled topologies.
+
+    Returns ``(gains, case_fractions)`` where the fractions are keyed
+    by the case letter ('a'..'d') plus ``'feasible'`` for the share of
+    topologies where SIC was actually usable.
+    """
+    rng = make_rng(seed)
+    channel = config.channel()
+    model = config.propagation()
+    gains = np.empty(config.n_samples)
+    counts: Dict[str, int] = {"a": 0, "b": 0, "c": 0, "d": 0,
+                              "feasible": 0}
+    for k in range(config.n_samples):
+        topo = random_pair_topology(config.range_m, rng)
+        rss = _pair_rss(topo, model, config.tx_power_w)
+        scenario = evaluate_pair_scenario(channel, config.packet_bits, rss)
+        gains[k] = scenario.gain
+        counts[scenario.case.value] += 1
+        counts["feasible"] += scenario.sic_feasible
+    fractions = {key: value / config.n_samples
+                 for key, value in counts.items()}
+    return gains, fractions
+
+
+def _pair_rss(topo, model: LogDistancePathLoss, tx_power_w: float) -> PairRss:
+    """The four S_j^i values of a two-pair topology."""
+    def rss(tx, rx) -> float:
+        return float(model.received_power(tx_power_w, tx.distance_to(rx)))
+    return PairRss(
+        s11=rss(topo.t1, topo.r1),
+        s12=rss(topo.t2, topo.r1),
+        s21=rss(topo.t1, topo.r2),
+        s22=rss(topo.t2, topo.r2),
+    )
+
+
+def one_receiver_technique_gains(config: MonteCarloConfig,
+                                 seed: SeedLike = None,
+                                 max_fast_packets: int = 8,
+                                 ) -> Dict[str, np.ndarray]:
+    """Fig. 11a: per-technique gain samples, two clients to one AP.
+
+    Returns gain arrays keyed by technique: plain ``sic``,
+    ``power_control``, ``multirate``, ``packing``.  Every gain is
+    clipped below at 1 (the MAC never uses a losing strategy).
+    """
+    rng = make_rng(seed)
+    channel = config.channel()
+    model = config.propagation()
+    out = {name: np.empty(config.n_samples)
+           for name in ("sic", "power_control", "multirate", "packing")}
+    for k in range(config.n_samples):
+        topo = random_uplink_clients(2, config.range_m, rng)
+        s1, s2 = (
+            float(model.received_power(config.tx_power_w,
+                                       c.distance_to(topo.ap)))
+            for c in topo.clients
+        )
+        serial = float(z_serial_same_receiver(channel, config.packet_bits,
+                                              s1, s2))
+        sic = float(z_sic_same_receiver(channel, config.packet_bits, s1, s2))
+        out["sic"][k] = max(1.0, serial / sic)
+        pc = power_controlled_pair_airtime(channel, config.packet_bits,
+                                           s1, s2)
+        out["power_control"][k] = max(1.0, serial / pc.airtime_s)
+        mr = multirate_pair_airtime(channel, config.packet_bits, s1, s2)
+        out["multirate"][k] = max(1.0, serial / mr.airtime_s)
+        out["packing"][k] = one_receiver_packing_gain(
+            channel, config.packet_bits, s1, s2, max_fast_packets)
+    return out
+
+
+def one_receiver_packing_gain(channel: Channel, packet_bits: float,
+                               s1: float, s2: float,
+                               max_fast_packets: int) -> float:
+    """Packing gain at a common SIC receiver.
+
+    During the overlap the stronger signal runs interference-limited and
+    the weaker rides clean; whichever transmission is slower becomes the
+    "slow" link and the other packs extra packets underneath it.
+    """
+    strong, weak = max(s1, s2), min(s1, s2)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+    from repro.phy.shannon import airtime, shannon_rate
+    t_strong = float(airtime(packet_bits, shannon_rate(b, strong, weak, n0)))
+    t_weak = float(airtime(packet_bits, shannon_rate(b, weak, 0.0, n0)))
+    if t_strong >= t_weak:
+        packed = pack_pair_links(channel, packet_bits,
+                                 slow_rss_w=strong, slow_interference_w=weak,
+                                 fast_rss_w=weak, fast_interference_w=0.0,
+                                 sic_feasible=True,
+                                 max_fast_packets=max_fast_packets)
+    else:
+        packed = pack_pair_links(channel, packet_bits,
+                                 slow_rss_w=weak, slow_interference_w=0.0,
+                                 fast_rss_w=strong, fast_interference_w=weak,
+                                 sic_feasible=True,
+                                 max_fast_packets=max_fast_packets)
+    return packed.gain
+
+
+def two_receiver_technique_gains(config: MonteCarloConfig,
+                                 seed: SeedLike = None,
+                                 max_fast_packets: int = 8,
+                                 ) -> Dict[str, np.ndarray]:
+    """Fig. 11b: gain samples for two transmitter-receiver pairs.
+
+    Only plain SIC and SIC + packet packing apply here — the paper
+    notes multirate packetization "is not possible in a two transmitter,
+    two receiver scenario", and power control across independent links
+    is not considered.
+    """
+    rng = make_rng(seed)
+    channel = config.channel()
+    model = config.propagation()
+    out = {name: np.empty(config.n_samples) for name in ("sic", "packing")}
+    for k in range(config.n_samples):
+        topo = random_pair_topology(config.range_m, rng)
+        rss = _pair_rss(topo, model, config.tx_power_w)
+        scenario = evaluate_pair_scenario(channel, config.packet_bits, rss)
+        out["sic"][k] = scenario.gain
+        out["packing"][k] = two_receiver_packing_gain(
+            channel, config.packet_bits, rss, scenario, max_fast_packets)
+    return out
+
+
+def two_receiver_packing_gain(channel: Channel, packet_bits: float,
+                              rss: PairRss, scenario,
+                              max_fast_packets: int = 8) -> float:
+    """Packing gain for a two-pair scenario (ideal continuous rates).
+
+    Mirrors :func:`repro.sic.discrete.discrete_packing_gain`: the
+    transmitter whose signal the SIC receiver must cancel may lower its
+    rate to whatever *both* receivers can decode, and its partner packs
+    several packets under the resulting long airtime.  Clipped below at
+    the plain-SIC gain (the MAC never packs when it loses).
+    """
+    from repro.phy.shannon import airtime, shannon_rate
+    from repro.sic.scenarios import PairCase
+
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+    if scenario.case is PairCase.SIC_AT_R2:
+        # T1's rate must be decodable at R1 (capture through T2's
+        # interference) and at R2 (before cancellation).
+        sinr_1 = min(rss.s11 / (rss.s12 + n0), rss.s21 / (rss.s22 + n0))
+        rate_1 = shannon_rate(b, sinr_1 * n0, 0.0, n0)
+        rate_2 = shannon_rate(b, rss.s22, 0.0, n0)
+    elif scenario.case is PairCase.SIC_AT_R1:
+        sinr_2 = min(rss.s22 / (rss.s21 + n0), rss.s12 / (rss.s11 + n0))
+        rate_2 = shannon_rate(b, sinr_2 * n0, 0.0, n0)
+        rate_1 = shannon_rate(b, rss.s11, 0.0, n0)
+    elif scenario.case is PairCase.SIC_AT_BOTH:
+        sinr_1 = min(rss.s11 / n0, rss.s21 / (rss.s22 + n0))
+        sinr_2 = min(rss.s22 / n0, rss.s12 / (rss.s11 + n0))
+        rate_1 = shannon_rate(b, sinr_1 * n0, 0.0, n0)
+        rate_2 = shannon_rate(b, sinr_2 * n0, 0.0, n0)
+    else:
+        return scenario.gain  # both capture: no SIC involved
+    if rate_1 <= 0.0 or rate_2 <= 0.0:
+        return scenario.gain
+    t1 = float(airtime(packet_bits, rate_1))
+    t2 = float(airtime(packet_bits, rate_2))
+    t1_clean = float(airtime(packet_bits, shannon_rate(b, rss.s11, 0.0, n0)))
+    t2_clean = float(airtime(packet_bits, shannon_rate(b, rss.s22, 0.0, n0)))
+    (t_slow, slow_clean), (t_fast, fast_clean) = sorted(
+        [(t1, t1_clean), (t2, t2_clean)], reverse=True)
+    k = max(1, min(max_fast_packets, int(t_slow // t_fast)))
+    packed_time = max(t_slow, k * t_fast)
+    serial = slow_clean + k * fast_clean
+    if packed_time <= 0.0:
+        return scenario.gain
+    return max(scenario.gain, 1.0, serial / packed_time)
+
+
+def _legacy_two_receiver_packing_gain(channel: Channel, packet_bits: float,
+                                      rss: PairRss, scenario,
+                                      max_fast_packets: int) -> float:
+    """Packing gain restricted to strictly SIC-feasible scenarios.
+
+    Kept for the ablation bench: contrasts the rate-constrained packing
+    above with packing that cannot lower the cancelled signal's rate.
+    """
+    from repro.sic.scenarios import PairCase
+    if not scenario.sic_feasible:
+        return scenario.gain
+    if scenario.case is PairCase.SIC_AT_R2:
+        slow = (rss.s11, rss.s12)   # T1 interference-limited at R1
+        fast = (rss.s22, 0.0)       # T2 clean after SIC at R2
+    elif scenario.case is PairCase.SIC_AT_R1:
+        slow = (rss.s22, rss.s21)
+        fast = (rss.s11, 0.0)
+    else:  # SIC at both: both clean; pack under the slower one
+        if rss.s11 <= rss.s22:
+            slow, fast = (rss.s11, 0.0), (rss.s22, 0.0)
+        else:
+            slow, fast = (rss.s22, 0.0), (rss.s11, 0.0)
+    packed = pack_pair_links(channel, packet_bits,
+                             slow_rss_w=slow[0], slow_interference_w=slow[1],
+                             fast_rss_w=fast[0], fast_interference_w=fast[1],
+                             sic_feasible=True,
+                             max_fast_packets=max_fast_packets)
+    return max(scenario.gain, packed.gain)

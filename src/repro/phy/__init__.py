@@ -1,0 +1,59 @@
+"""PHY substrate: Shannon rates, noise, propagation, discrete 802.11 rates.
+
+This package implements everything below the SIC model:
+
+* :mod:`repro.phy.shannon` — Shannon capacity and the feasible-bitrate
+  expressions (paper Eqs. 1-2) that the whole analysis is built on;
+* :mod:`repro.phy.noise` — thermal noise power;
+* :mod:`repro.phy.pathloss` — log-distance propagation with optional
+  log-normal shadowing (path-loss exponent alpha = 4 in the paper);
+* :mod:`repro.phy.rates` — the discrete 802.11b/g/n bitrate tables used
+  by the discrete-rate evaluation (paper Fig. 14b);
+* :mod:`repro.phy.error` — a SINR -> packet-success-probability model
+  used to emulate the paper's "highest bitrate with 90 % packet success"
+  trace methodology.
+"""
+
+from repro.phy.error import (
+    PacketErrorModel,
+    packet_success_probability,
+)
+from repro.phy.noise import thermal_noise_watts
+from repro.phy.pathloss import (
+    FreeSpace,
+    LogDistancePathLoss,
+    PropagationModel,
+    received_power,
+)
+from repro.phy.rates import (
+    DOT11B,
+    DOT11G,
+    DOT11N_20MHZ,
+    RateTable,
+    best_discrete_rate,
+)
+from repro.phy.shannon import (
+    Channel,
+    airtime,
+    shannon_rate,
+    sinr,
+)
+
+__all__ = [
+    "Channel",
+    "DOT11B",
+    "DOT11G",
+    "DOT11N_20MHZ",
+    "FreeSpace",
+    "LogDistancePathLoss",
+    "PacketErrorModel",
+    "PropagationModel",
+    "RateTable",
+    "airtime",
+    "best_discrete_rate",
+    "packet_success_probability",
+    "received_power",
+    "shannon_rate",
+    "sinr",
+    "thermal_noise_watts",
+]

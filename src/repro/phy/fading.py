@@ -1,0 +1,79 @@
+"""Small-scale fading: block-fading channel time series.
+
+The paper's analysis freezes every link at a single RSS.  Real links
+fade: the received power wobbles around its mean from packet to packet.
+This module provides the standard block-fading abstractions needed by
+the rate-adaptation study (see :mod:`repro.phy.adaptation`):
+
+* :func:`rayleigh_power_series` — Rayleigh (NLOS) fading: per-block
+  power is exponentially distributed around the mean;
+* :func:`rician_power_series` — Rician (LOS + scatter) fading with a
+  K-factor, spanning Rayleigh (K = 0) to near-static (large K);
+* :class:`BlockFadingLink` — a link whose per-packet SINR is drawn from
+  one of the above around a configurable mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_nonnegative, check_positive
+
+
+def rayleigh_power_series(mean_power: float, n_blocks: int,
+                          rng: SeedLike = None) -> np.ndarray:
+    """Per-block received powers under Rayleigh fading.
+
+    The envelope is Rayleigh, so the power is exponential with the
+    given mean — the classic worst-case NLOS model.
+    """
+    check_positive("mean_power", mean_power)
+    if n_blocks < 0:
+        raise ValueError("n_blocks must be >= 0")
+    generator = make_rng(rng)
+    return generator.exponential(mean_power, size=n_blocks)
+
+
+def rician_power_series(mean_power: float, k_factor: float,
+                        n_blocks: int, rng: SeedLike = None) -> np.ndarray:
+    """Per-block received powers under Rician fading.
+
+    ``k_factor`` is the linear ratio of line-of-sight to scattered
+    power; 0 reduces to Rayleigh, large values approach a static link.
+    The series is normalised so its expected power equals
+    ``mean_power``.
+    """
+    check_positive("mean_power", mean_power)
+    check_nonnegative("k_factor", k_factor)
+    if n_blocks < 0:
+        raise ValueError("n_blocks must be >= 0")
+    generator = make_rng(rng)
+    # Complex gaussian scatter plus a deterministic LOS component.
+    sigma2 = mean_power / (2.0 * (k_factor + 1.0))
+    los = np.sqrt(k_factor * mean_power / (k_factor + 1.0))
+    i = generator.normal(los, np.sqrt(sigma2), size=n_blocks)
+    q = generator.normal(0.0, np.sqrt(sigma2), size=n_blocks)
+    return i * i + q * q
+
+
+@dataclass(frozen=True)
+class BlockFadingLink:
+    """A link with a mean SINR and per-packet fading around it."""
+
+    mean_sinr_linear: float
+    k_factor: float = 0.0     # 0 = Rayleigh
+
+    def __post_init__(self) -> None:
+        check_positive("mean_sinr_linear", self.mean_sinr_linear)
+        check_nonnegative("k_factor", self.k_factor)
+
+    def sinr_series(self, n_blocks: int, rng: SeedLike = None) -> np.ndarray:
+        """Per-packet linear SINRs (noise-normalised powers)."""
+        if self.k_factor == 0.0:
+            return rayleigh_power_series(self.mean_sinr_linear, n_blocks,
+                                         rng)
+        return rician_power_series(self.mean_sinr_linear, self.k_factor,
+                                   n_blocks, rng)

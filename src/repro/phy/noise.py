@@ -1,0 +1,39 @@
+"""Thermal noise power.
+
+The paper treats ``N0`` as a single in-band noise power.  We compute it
+from first principles (k·T·B) plus a receiver noise figure so that the
+propagation-based experiments (Figs. 6, 11, 13, 14) use a physically
+sensible noise floor for a 20 MHz 802.11 channel (about -101 dBm at a
+7 dB noise figure).
+"""
+
+from __future__ import annotations
+
+from repro.util.units import db_to_linear
+from repro.util.validation import check_nonnegative, check_positive
+
+#: Boltzmann constant, J/K.
+BOLTZMANN_J_PER_K = 1.380649e-23
+
+#: Standard reference temperature, kelvin.
+REFERENCE_TEMPERATURE_K = 290.0
+
+#: Typical consumer-WLAN receiver noise figure, dB.
+DEFAULT_NOISE_FIGURE_DB = 7.0
+
+
+def thermal_noise_watts(bandwidth_hz: float,
+                        noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB,
+                        temperature_k: float = REFERENCE_TEMPERATURE_K) -> float:
+    """In-band noise power ``k * T * B * NF`` in watts.
+
+    >>> import math
+    >>> n = thermal_noise_watts(20e6, noise_figure_db=0.0)
+    >>> math.isclose(n, 1.380649e-23 * 290.0 * 20e6)
+    True
+    """
+    bandwidth_hz = check_positive("bandwidth_hz", bandwidth_hz)
+    temperature_k = check_positive("temperature_k", temperature_k)
+    noise_figure_db = check_nonnegative("noise_figure_db", noise_figure_db)
+    return (BOLTZMANN_J_PER_K * temperature_k * bandwidth_hz
+            * db_to_linear(noise_figure_db))

@@ -1,0 +1,146 @@
+"""Propagation models: log-distance path loss with optional shadowing.
+
+The paper's Monte-Carlo evaluation (Section 3.2) computes RSS "based on
+the transmitter-receiver distance, using path loss exponent alpha = 4".
+That is the log-distance model implemented here.  The trace substrate
+additionally applies log-normal shadowing, the standard indoor model,
+so the synthetic building traces exhibit the RSS dispersion that real
+802.11g RSSI traces show.
+
+All models return *linear* received power in watts; dB appears only in
+the shadowing sigma parameter (which is conventionally quoted in dB).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.util.rng import SeedLike, make_rng
+from repro.util.units import db_to_linear
+from repro.util.validation import check_nonnegative, check_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Speed of light, m/s.
+SPEED_OF_LIGHT_M_PER_S = 299_792_458.0
+
+#: Default carrier frequency: 2.4 GHz ISM band (802.11b/g).
+DEFAULT_FREQUENCY_HZ = 2.4e9
+
+
+def free_space_path_gain(distance_m: ArrayLike,
+                         frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> ArrayLike:
+    """Friis free-space power gain ``(lambda / (4 pi d))^2`` (linear, <= 1).
+
+    Used as the reference gain at the close-in distance of the
+    log-distance model.
+    """
+    check_positive("frequency_hz", frequency_hz)
+    d = np.asarray(distance_m, dtype=float)
+    if np.any(d <= 0.0):
+        raise ValueError("distance must be positive")
+    wavelength = SPEED_OF_LIGHT_M_PER_S / frequency_hz
+    gain = (wavelength / (4.0 * math.pi * d)) ** 2
+    return float(gain) if np.ndim(gain) == 0 else gain
+
+
+class PropagationModel:
+    """Interface: map (tx power, distance) -> received power in watts."""
+
+    def path_gain(self, distance_m: ArrayLike) -> ArrayLike:
+        """Deterministic power gain (linear) at ``distance_m``."""
+        raise NotImplementedError
+
+    def received_power(self, tx_power_w: float, distance_m: ArrayLike,
+                       rng: Optional[np.random.Generator] = None) -> ArrayLike:
+        """Received power in watts; ``rng`` enables stochastic terms."""
+        check_positive("tx_power_w", tx_power_w)
+        gain = self.path_gain(distance_m)
+        power = tx_power_w * np.asarray(gain, dtype=float)
+        power = self._apply_fading(power, rng)
+        return float(power) if np.ndim(power) == 0 else power
+
+    def _apply_fading(self, power_w: np.ndarray,
+                      rng: Optional[np.random.Generator]) -> np.ndarray:
+        return power_w
+
+
+@dataclass(frozen=True)
+class FreeSpace(PropagationModel):
+    """Pure Friis free-space propagation (alpha = 2, no fading)."""
+
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+
+    def path_gain(self, distance_m: ArrayLike) -> ArrayLike:
+        return free_space_path_gain(distance_m, self.frequency_hz)
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss(PropagationModel):
+    """Log-distance path loss with optional log-normal shadowing.
+
+    Power gain is ``G(d0) * (d0 / d)^alpha`` beyond the close-in
+    reference distance ``d0`` (free space inside ``d0``), where ``G(d0)``
+    is the Friis gain at ``d0``.  ``shadowing_sigma_db > 0`` multiplies
+    the gain by a log-normal term with that dB standard deviation,
+    requiring an ``rng`` in :meth:`received_power`.
+
+    Parameters match the paper: ``exponent=4.0`` is the alpha used for
+    the Monte-Carlo results of Fig. 6.
+    """
+
+    exponent: float = 4.0
+    reference_distance_m: float = 1.0
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+    shadowing_sigma_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("exponent", self.exponent)
+        check_positive("reference_distance_m", self.reference_distance_m)
+        check_positive("frequency_hz", self.frequency_hz)
+        check_nonnegative("shadowing_sigma_db", self.shadowing_sigma_db)
+
+    def path_gain(self, distance_m: ArrayLike) -> ArrayLike:
+        d = np.asarray(distance_m, dtype=float)
+        if np.any(d <= 0.0):
+            raise ValueError("distance must be positive")
+        g0 = free_space_path_gain(self.reference_distance_m, self.frequency_hz)
+        # Free space up to d0, power-law decay beyond it.
+        ratio = np.maximum(d, self.reference_distance_m) / self.reference_distance_m
+        gain = g0 * ratio ** (-self.exponent)
+        near = d < self.reference_distance_m
+        if np.any(near):
+            near_gain = free_space_path_gain(np.where(near, d, self.reference_distance_m),
+                                             self.frequency_hz)
+            gain = np.where(near, near_gain, gain)
+        return float(gain) if np.ndim(gain) == 0 else gain
+
+    def _apply_fading(self, power_w: np.ndarray,
+                      rng: Optional[np.random.Generator]) -> np.ndarray:
+        if self.shadowing_sigma_db <= 0.0:
+            return power_w
+        if rng is None:
+            raise ValueError(
+                "shadowing_sigma_db > 0 requires an rng in received_power()"
+            )
+        shadow_db = rng.normal(0.0, self.shadowing_sigma_db, size=np.shape(power_w))
+        return power_w * np.asarray(db_to_linear(shadow_db), dtype=float)
+
+
+def received_power(tx_power_w: float, distance_m: ArrayLike,
+                   model: Optional[PropagationModel] = None,
+                   rng: SeedLike = None) -> ArrayLike:
+    """Received power through ``model`` (default: alpha-4 log-distance).
+
+    Thin convenience wrapper used by the Monte-Carlo experiments.
+    """
+    if model is None:
+        model = LogDistancePathLoss()
+    generator = None
+    if getattr(model, "shadowing_sigma_db", 0.0) > 0.0:
+        generator = make_rng(rng)
+    return model.received_power(tx_power_w, distance_m, generator)

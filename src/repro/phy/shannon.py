@@ -1,0 +1,121 @@
+"""Shannon capacity, SINR and airtime — the paper's Eqs. (1), (2), (5).
+
+The entire back-of-the-envelope analysis rests on the AWGN Shannon
+formula: a link whose signal of interest arrives with power ``s`` while
+interference ``i`` and noise ``n0`` are present supports at most
+
+    r_hat = B * log2(1 + s / (i + n0))        [bits/s]
+
+Paper notation (Table 1) maps onto this module as:
+
+=============  =====================================================
+``B``          ``Channel.bandwidth_hz``
+``N0``         ``Channel.noise_w`` (total in-band noise power, watts)
+``S_j^i``      the ``signal_w`` / ``interference_w`` arguments
+``r_hat``      :func:`shannon_rate`
+``L``          the ``packet_bits`` argument of :func:`airtime`
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Default channel bandwidth: a 20 MHz 802.11g channel.
+DEFAULT_BANDWIDTH_HZ = 20e6
+
+#: Default in-band noise power in watts (about -101 dBm, the thermal
+#: noise floor of a 20 MHz channel plus a modest noise figure).
+DEFAULT_NOISE_W = 1e-13
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A wireless channel: bandwidth ``B`` and noise power ``N0``.
+
+    Immutable so that one channel object can be shared by a whole
+    experiment without aliasing surprises.
+    """
+
+    bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ
+    noise_w: float = DEFAULT_NOISE_W
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_hz", self.bandwidth_hz)
+        check_positive("noise_w", self.noise_w)
+
+    def rate(self, signal_w: ArrayLike, interference_w: ArrayLike = 0.0) -> ArrayLike:
+        """Best feasible bitrate for a signal under given interference.
+
+        This is paper Eq. (1) when ``interference_w`` is the competing
+        signal and Eq. (2) when it is zero (post-cancellation).
+        """
+        return shannon_rate(self.bandwidth_hz, signal_w, interference_w, self.noise_w)
+
+    def snr(self, signal_w: ArrayLike) -> ArrayLike:
+        """Linear signal-to-noise ratio of a received power."""
+        return sinr(signal_w, 0.0, self.noise_w)
+
+    def airtime(self, packet_bits: float, signal_w: ArrayLike,
+                interference_w: ArrayLike = 0.0) -> ArrayLike:
+        """Time to send ``packet_bits`` at the best feasible rate."""
+        return airtime(packet_bits, self.rate(signal_w, interference_w))
+
+
+def sinr(signal_w: ArrayLike, interference_w: ArrayLike, noise_w: float) -> ArrayLike:
+    """Signal-to-interference-plus-noise ratio (linear)."""
+    noise_w = check_positive("noise_w", noise_w)
+    sig = np.asarray(signal_w, dtype=float)
+    inter = np.asarray(interference_w, dtype=float)
+    if np.any(sig < 0.0) or np.any(inter < 0.0):
+        raise ValueError("signal and interference powers must be non-negative")
+    result = sig / (inter + noise_w)
+    return float(result) if np.ndim(result) == 0 else result
+
+
+def shannon_rate(bandwidth_hz: float, signal_w: ArrayLike,
+                 interference_w: ArrayLike = 0.0,
+                 noise_w: float = DEFAULT_NOISE_W) -> ArrayLike:
+    """Highest feasible bitrate ``B log2(1 + S / (I + N0))`` in bits/s.
+
+    With ``interference_w > 0`` this is the paper's Eq. (1): the rate at
+    which the *stronger* of two colliding signals can still be decoded
+    while the weaker one is treated as noise.  With ``interference_w == 0``
+    it is Eq. (2): the rate of the weaker signal after perfect
+    cancellation of the stronger one.
+    """
+    bandwidth_hz = check_positive("bandwidth_hz", bandwidth_hz)
+    ratio = sinr(signal_w, interference_w, noise_w)
+    result = bandwidth_hz * np.log2(1.0 + np.asarray(ratio, dtype=float))
+    return float(result) if np.ndim(result) == 0 else result
+
+
+def airtime(packet_bits: float, rate_bps: ArrayLike) -> ArrayLike:
+    """Transmission time of a packet of ``packet_bits`` at ``rate_bps``.
+
+    A rate of zero (signal power zero) yields infinite airtime, which is
+    the honest answer and composes correctly with ``min``/``max`` in the
+    scenario analysis.
+    """
+    packet_bits = check_positive("packet_bits", packet_bits)
+    rate = np.asarray(rate_bps, dtype=float)
+    if np.any(rate < 0.0):
+        raise ValueError("rate must be non-negative")
+    with np.errstate(divide="ignore"):
+        result = np.where(rate > 0.0, packet_bits / rate, np.inf)
+    return float(result) if np.ndim(result) == 0 else result
+
+
+def rate_from_snr_db(bandwidth_hz: float, snr_db: ArrayLike) -> ArrayLike:
+    """Convenience: Shannon rate from an SNR given in dB."""
+    check_positive("bandwidth_hz", bandwidth_hz)
+    snr_linear = np.power(10.0, np.asarray(snr_db, dtype=float) / 10.0)
+    result = bandwidth_hz * np.log2(1.0 + snr_linear)
+    return float(result) if np.ndim(result) == 0 else result

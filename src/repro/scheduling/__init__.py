@@ -1,0 +1,60 @@
+"""SIC-aware scheduling (paper Section 6).
+
+* :mod:`repro.scheduling.matching` — Edmonds' blossom algorithm for
+  maximum-weight matching, implemented from scratch, plus the
+  minimum-weight *perfect* matching wrapper the scheduler needs;
+* :mod:`repro.scheduling.scheduler` — the reduction of Fig. 12: build
+  the client-pair cost graph (with a dummy node for odd client counts),
+  solve it, and emit the upload schedule;
+* :mod:`repro.scheduling.baselines` — serial FIFO, greedy pairing,
+  random pairing and a brute-force optimal pairing oracle.
+"""
+
+from repro.scheduling.matching import (
+    max_weight_matching,
+    min_weight_perfect_matching,
+)
+from repro.scheduling.scheduler import (
+    Schedule,
+    ScheduledSlot,
+    SicScheduler,
+    UploadClient,
+)
+from repro.scheduling.baselines import (
+    brute_force_schedule,
+    greedy_schedule,
+    random_schedule,
+    serial_schedule,
+)
+from repro.scheduling.backlog import BacklogClient, drain_backlog
+from repro.scheduling.groups import (
+    GroupSchedule,
+    exhaustive_group_schedule,
+    greedy_group_schedule,
+)
+from repro.scheduling.online import (
+    ArrivalClient,
+    compare_policies_online,
+    simulate_online,
+)
+
+__all__ = [
+    "ArrivalClient",
+    "BacklogClient",
+    "GroupSchedule",
+    "Schedule",
+    "ScheduledSlot",
+    "SicScheduler",
+    "UploadClient",
+    "brute_force_schedule",
+    "compare_policies_online",
+    "drain_backlog",
+    "exhaustive_group_schedule",
+    "greedy_group_schedule",
+    "greedy_schedule",
+    "max_weight_matching",
+    "min_weight_perfect_matching",
+    "random_schedule",
+    "serial_schedule",
+    "simulate_online",
+]

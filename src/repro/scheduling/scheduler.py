@@ -1,0 +1,234 @@
+"""The SIC-aware upload scheduler (paper Section 6, Fig. 12).
+
+Problem statement (verbatim from the paper): *given a set of backlogged
+clients and their respective maximum bitrates to the AP, find all pairs
+of clients and their associated transmit powers, such that the total
+time to upload all the backlogged traffic is minimum.*
+
+The reduction: build a graph with one vertex per backlogged client and
+an edge for every client pair weighted by the pair's minimum joint
+completion time ``t_ij`` (serial vs SIC vs SIC + enabled techniques —
+see :func:`repro.techniques.pairing.pair_airtime`).  For an odd client
+count, add a dummy vertex whose edge to client ``i`` costs ``i``'s solo
+transmission time.  A minimum-weight perfect matching of this graph is
+exactly the optimal pairing; slots can then run in any order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.phy.shannon import Channel
+from repro.scheduling.matching import min_weight_perfect_matching
+from repro.techniques.pairing import (
+    PairAirtime,
+    PairMode,
+    TechniqueSet,
+    pair_airtime,
+    solo_airtime,
+)
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class UploadClient:
+    """A backlogged client: its name and its RSS at the AP (max power)."""
+
+    name: str
+    rss_w: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("client name must be non-empty")
+        check_positive("rss_w", self.rss_w)
+
+
+@dataclass(frozen=True)
+class ScheduledSlot:
+    """One schedule slot: a pair transmitting jointly, or a solo client."""
+
+    clients: Tuple[str, ...]
+    duration_s: float
+    mode: PairMode
+
+    @property
+    def is_pair(self) -> bool:
+        return len(self.clients) == 2
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete upload schedule with its serial baseline."""
+
+    slots: Tuple[ScheduledSlot, ...]
+    serial_time_s: float
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(slot.duration_s for slot in self.slots)
+
+    @property
+    def gain(self) -> float:
+        """Serial completion time over scheduled completion time."""
+        total = self.total_time_s
+        if total <= 0.0:
+            return 1.0
+        return self.serial_time_s / total
+
+    @property
+    def client_names(self) -> Tuple[str, ...]:
+        return tuple(name for slot in self.slots for name in slot.clients)
+
+    def __str__(self) -> str:
+        lines = [f"schedule: {self.total_time_s:.6g}s "
+                 f"(serial {self.serial_time_s:.6g}s, gain {self.gain:.3f})"]
+        for slot in self.slots:
+            lines.append(f"  [{' | '.join(slot.clients)}] "
+                         f"{slot.duration_s:.6g}s ({slot.mode.value})")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (e.g. to hand to an AP controller)."""
+        return {
+            "serial_time_s": self.serial_time_s,
+            "total_time_s": self.total_time_s,
+            "gain": self.gain,
+            "slots": [
+                {
+                    "clients": list(slot.clients),
+                    "duration_s": slot.duration_s,
+                    "mode": slot.mode.value,
+                }
+                for slot in self.slots
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Schedule":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        try:
+            slots = tuple(
+                ScheduledSlot(
+                    clients=tuple(entry["clients"]),
+                    duration_s=float(entry["duration_s"]),
+                    mode=PairMode(entry["mode"]),
+                )
+                for entry in data["slots"]
+            )
+            return cls(slots=slots,
+                       serial_time_s=float(data["serial_time_s"]))
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed schedule payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SicScheduler:
+    """Builds optimal SIC-aware upload schedules via blossom matching.
+
+    ``techniques`` selects which Section-5 enhancements the MAC may use
+    when costing a joint transmission; ``sic_enabled=False`` yields the
+    no-SIC scheduler whose schedules are always fully serial (useful as
+    the baseline in evaluations).
+    """
+
+    channel: Channel = field(default_factory=Channel)
+    packet_bits: float = 12000.0
+    techniques: TechniqueSet = TechniqueSet.NONE
+    sic_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("packet_bits", self.packet_bits)
+
+    # ------------------------------------------------------------------
+
+    def pair_cost(self, a: UploadClient, b: UploadClient) -> PairAirtime:
+        """The ``t_ij`` edge weight for one client pair."""
+        return pair_airtime(self.channel, self.packet_bits,
+                            a.rss_w, b.rss_w,
+                            techniques=self.techniques,
+                            sic_enabled=self.sic_enabled)
+
+    def solo_cost(self, client: UploadClient) -> float:
+        """The dummy-edge weight: the client's solo transmit time."""
+        return solo_airtime(self.channel, self.packet_bits, client.rss_w)
+
+    def serial_time(self, clients: Sequence[UploadClient]) -> float:
+        """The no-SIC baseline: every client transmits alone, in turn."""
+        return sum(self.solo_cost(c) for c in clients)
+
+    # ------------------------------------------------------------------
+
+    def build_cost_graph(
+            self, clients: Sequence[UploadClient],
+    ) -> Tuple[Dict[Tuple[int, int], float], Optional[int]]:
+        """The matching instance: pair costs plus an optional dummy node.
+
+        Returns ``(costs, dummy_index)`` where ``dummy_index`` is the
+        dummy vertex id for odd client counts, else ``None``.
+        """
+        n = len(clients)
+        costs: Dict[Tuple[int, int], float] = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                costs[(i, j)] = self.pair_cost(clients[i], clients[j]).airtime_s
+        dummy = None
+        if n % 2 == 1:
+            dummy = n
+            for i in range(n):
+                costs[(i, dummy)] = self.solo_cost(clients[i])
+        return costs, dummy
+
+    def schedule(self, clients: Sequence[UploadClient]) -> Schedule:
+        """Compute the minimum-total-time schedule for the backlog."""
+        if not clients:
+            return Schedule(slots=(), serial_time_s=0.0)
+        names = [c.name for c in clients]
+        if len(set(names)) != len(names):
+            raise ValueError(f"client names must be unique, got {names}")
+        if len(clients) == 1:
+            only = clients[0]
+            solo = self.solo_cost(only)
+            return Schedule(
+                slots=(ScheduledSlot((only.name,), solo, PairMode.SERIAL),),
+                serial_time_s=solo,
+            )
+
+        costs, dummy = self.build_cost_graph(clients)
+        n_vertices = len(clients) + (1 if dummy is not None else 0)
+        matching = min_weight_perfect_matching(costs, n_vertices)
+        return self._matching_to_schedule(clients, matching, dummy)
+
+    def pairing_to_schedule(self, clients: Sequence[UploadClient],
+                            pairs: Sequence[Tuple[int, int]],
+                            solo: Sequence[int] = ()) -> Schedule:
+        """Cost out an explicit pairing (used by baselines and tests)."""
+        slots: List[ScheduledSlot] = []
+        seen: List[int] = []
+        for (i, j) in pairs:
+            cost = self.pair_cost(clients[i], clients[j])
+            slots.append(ScheduledSlot((clients[i].name, clients[j].name),
+                                       cost.airtime_s, cost.mode))
+            seen.extend((i, j))
+        for i in solo:
+            slots.append(ScheduledSlot((clients[i].name,),
+                                       self.solo_cost(clients[i]),
+                                       PairMode.SERIAL))
+            seen.append(i)
+        if sorted(seen) != list(range(len(clients))):
+            raise ValueError("pairing must cover every client exactly once")
+        return Schedule(slots=tuple(slots),
+                        serial_time_s=self.serial_time(clients))
+
+    def _matching_to_schedule(self, clients: Sequence[UploadClient],
+                              matching, dummy: Optional[int]) -> Schedule:
+        pairs: List[Tuple[int, int]] = []
+        solo: List[int] = []
+        for (i, j) in matching:
+            if dummy is not None and j == dummy:
+                solo.append(i)
+            elif dummy is not None and i == dummy:
+                solo.append(j)
+            else:
+                pairs.append((i, j))
+        return self.pairing_to_schedule(clients, pairs, solo)

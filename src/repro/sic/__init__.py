@@ -1,0 +1,68 @@
+"""SIC core: the paper's primary contribution, as a library.
+
+* :mod:`repro.sic.receiver` — the two-signal SIC receiver model:
+  decode-order rules, feasibility, optional imperfect cancellation;
+* :mod:`repro.sic.capacity` — channel capacity with/without SIC
+  (paper Eqs. 3-4, Figs. 2-3);
+* :mod:`repro.sic.airtime` — packet completion-time analysis for the
+  building-block scenarios (paper Eqs. 5-10, Figs. 4 and 8);
+* :mod:`repro.sic.scenarios` — the four-case taxonomy of two
+  transmitters to two receivers (paper Fig. 5, Fig. 6 Monte-Carlo).
+"""
+
+from repro.sic.capacity import (
+    capacity_gain,
+    capacity_with_sic,
+    capacity_without_sic,
+    rate_region_corners,
+)
+from repro.sic.receiver import (
+    CollisionOutcome,
+    SicReceiver,
+    Transmission,
+)
+from repro.sic.airtime import (
+    download_gain_two_aps_one_client,
+    sic_gain_same_receiver,
+    z_serial_download,
+    z_serial_same_receiver,
+    z_sic_same_receiver,
+)
+from repro.sic.ksic import (
+    SuccessiveReceiver,
+    capacity_with_ksic,
+    ksic_uplink_gain,
+    successive_rate_limits,
+)
+from repro.sic.regions import TwoUserRegion, two_user_region
+from repro.sic.scenarios import (
+    PairCase,
+    PairScenario,
+    classify_pair_case,
+    evaluate_pair_scenario,
+)
+
+__all__ = [
+    "CollisionOutcome",
+    "PairCase",
+    "PairScenario",
+    "SicReceiver",
+    "SuccessiveReceiver",
+    "Transmission",
+    "TwoUserRegion",
+    "capacity_with_ksic",
+    "capacity_gain",
+    "capacity_with_sic",
+    "capacity_without_sic",
+    "classify_pair_case",
+    "download_gain_two_aps_one_client",
+    "evaluate_pair_scenario",
+    "ksic_uplink_gain",
+    "rate_region_corners",
+    "successive_rate_limits",
+    "two_user_region",
+    "sic_gain_same_receiver",
+    "z_serial_download",
+    "z_serial_same_receiver",
+    "z_sic_same_receiver",
+]

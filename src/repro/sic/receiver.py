@@ -1,0 +1,170 @@
+"""The two-signal SIC receiver model.
+
+This is the operational heart of the reproduction: given two concurrent
+transmissions (power + chosen bitrate each), decide what a SIC-capable
+receiver actually decodes.  The rules implement Section 2.2 of the
+paper:
+
+1. the receiver first attempts the *stronger* signal, treating the
+   weaker as interference — it succeeds iff the stronger transmitter's
+   bitrate does not exceed ``B log2(1 + S_strong / (S_weak + N0))``
+   (Eq. 1);
+2. on success it reconstructs and subtracts the stronger signal and
+   attempts the weaker one against the residue — with perfect
+   cancellation the weaker succeeds iff its bitrate does not exceed
+   ``B log2(1 + S_weak / N0)`` (Eq. 2);
+3. if step 1 fails, *neither* packet is decodable ("it can not decode
+   T2's signal either").
+
+Imperfect cancellation (the extension the paper cites from [13]) is
+modelled by a ``cancellation_efficiency`` in [0, 1]: a fraction
+``1 - efficiency`` of the stronger signal's power survives subtraction
+and adds to the noise seen by the weaker signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.phy.shannon import Channel, shannon_rate
+from repro.util.validation import check_nonnegative, check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One arriving transmission: received power and chosen bitrate."""
+
+    power_w: float
+    rate_bps: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive("power_w", self.power_w)
+        check_positive("rate_bps", self.rate_bps)
+
+
+@dataclass(frozen=True)
+class CollisionOutcome:
+    """What a receiver decoded out of a two-packet collision."""
+
+    decoded_strong: bool
+    decoded_weak: bool
+    strong: Transmission
+    weak: Transmission
+    #: Highest bitrate at which the stronger signal was decodable (Eq. 1).
+    strong_rate_limit_bps: float = field(default=0.0)
+    #: Highest bitrate at which the weaker signal was decodable (Eq. 2,
+    #: including any cancellation residue).
+    weak_rate_limit_bps: float = field(default=0.0)
+
+    @property
+    def decoded_count(self) -> int:
+        return int(self.decoded_strong) + int(self.decoded_weak)
+
+    @property
+    def collision_resolved(self) -> bool:
+        """True iff both packets were recovered (the SIC success case)."""
+        return self.decoded_strong and self.decoded_weak
+
+
+@dataclass(frozen=True)
+class SicReceiver:
+    """A receiver that can cancel at most one interfering signal.
+
+    ``sic_enabled=False`` turns the model into a plain capture receiver
+    (decode the strongest signal only), which is the paper's no-SIC
+    baseline.  ``cancellation_efficiency=1.0`` is the paper's "perfect
+    cancellation" assumption.
+    """
+
+    channel: Channel = field(default_factory=Channel)
+    sic_enabled: bool = True
+    cancellation_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_probability("cancellation_efficiency", self.cancellation_efficiency)
+
+    # ------------------------------------------------------------------
+    # Rate limits (the feasibility side: Eqs. 1 and 2)
+    # ------------------------------------------------------------------
+
+    def residual_power_w(self, cancelled_power_w: float) -> float:
+        """Interference power left over after cancelling a signal."""
+        check_nonnegative("cancelled_power_w", cancelled_power_w)
+        return (1.0 - self.cancellation_efficiency) * cancelled_power_w
+
+    def strong_rate_limit(self, strong_w: float, weak_w: float) -> float:
+        """Eq. 1: max bitrate of the stronger signal under interference."""
+        return shannon_rate(self.channel.bandwidth_hz, strong_w, weak_w,
+                            self.channel.noise_w)
+
+    def weak_rate_limit(self, strong_w: float, weak_w: float) -> float:
+        """Eq. 2 (generalised): max bitrate of the weaker signal after
+        cancelling the stronger one, accounting for any residue."""
+        residue = self.residual_power_w(strong_w)
+        return shannon_rate(self.channel.bandwidth_hz, weak_w, residue,
+                            self.channel.noise_w)
+
+    def feasible_rate_pair(self, power_a_w: float,
+                           power_b_w: float) -> Tuple[float, float]:
+        """Best feasible (rate_a, rate_b) for two concurrent signals.
+
+        Returned in the order of the arguments.  The stronger signal gets
+        the interference-limited Eq. 1 rate, the weaker the
+        post-cancellation Eq. 2 rate.  Ties are broken by treating
+        ``power_a_w`` as the stronger signal.
+        """
+        check_positive("power_a_w", power_a_w)
+        check_positive("power_b_w", power_b_w)
+        if power_a_w >= power_b_w:
+            return (self.strong_rate_limit(power_a_w, power_b_w),
+                    self.weak_rate_limit(power_a_w, power_b_w))
+        rate_b, rate_a = self.feasible_rate_pair(power_b_w, power_a_w)
+        return rate_a, rate_b
+
+    # ------------------------------------------------------------------
+    # Decoding actual transmissions (the operational side)
+    # ------------------------------------------------------------------
+
+    def decode_single(self, tx: Transmission,
+                      interference_w: float = 0.0) -> bool:
+        """Can a lone transmission be decoded under given interference?"""
+        check_nonnegative("interference_w", interference_w)
+        limit = shannon_rate(self.channel.bandwidth_hz, tx.power_w,
+                             interference_w, self.channel.noise_w)
+        return tx.rate_bps <= limit
+
+    def resolve_collision(self, a: Transmission,
+                          b: Transmission) -> CollisionOutcome:
+        """Apply the SIC decode procedure to two concurrent arrivals.
+
+        Equal powers are broken in favour of ``a`` as the "stronger"
+        signal; at exactly equal power the Eq. 1 SINR is < 1 so the
+        tie-break never changes which packets decode.
+        """
+        strong, weak = (a, b) if a.power_w >= b.power_w else (b, a)
+        strong_limit = self.strong_rate_limit(strong.power_w, weak.power_w)
+        decoded_strong = strong.rate_bps <= strong_limit
+        decoded_weak = False
+        weak_limit = 0.0
+        if decoded_strong and self.sic_enabled:
+            weak_limit = self.weak_rate_limit(strong.power_w, weak.power_w)
+            decoded_weak = weak.rate_bps <= weak_limit
+        return CollisionOutcome(
+            decoded_strong=decoded_strong,
+            decoded_weak=decoded_weak,
+            strong=strong,
+            weak=weak,
+            strong_rate_limit_bps=strong_limit,
+            weak_rate_limit_bps=weak_limit,
+        )
+
+    def can_resolve_both(self, power_a_w: float, rate_a_bps: float,
+                         power_b_w: float, rate_b_bps: float) -> bool:
+        """Convenience predicate: would both packets decode?"""
+        outcome = self.resolve_collision(
+            Transmission(power_a_w, rate_a_bps, "a"),
+            Transmission(power_b_w, rate_b_bps, "b"),
+        )
+        return outcome.collision_resolved

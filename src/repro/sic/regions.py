@@ -1,0 +1,142 @@
+"""The two-user rate region (paper Fig. 2, after Tse & Viswanath).
+
+With SIC, two transmitters sharing a receiver achieve the *pentagon*
+multiple-access region
+
+    r1 <= C1,   r2 <= C2,   r1 + r2 <= C_sum
+
+where ``C_i = B log2(1 + S_i/N0)`` and ``C_sum = B log2(1 + (S1+S2)/N0)``.
+The two corners of the dominant face are the two decode orders
+(:func:`repro.sic.capacity.rate_region_corners`); the face between them
+is reached by time sharing.  Without SIC only one transmitter can be
+active at a time, so the achievable region is the *TDMA triangle* under
+the segment from ``(C1, 0)`` to ``(0, C2)``.
+
+This module builds both regions explicitly, tests point membership, and
+quantifies the SIC area advantage — the geometric version of the
+capacity-gain story in Figs. 2-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.phy.shannon import Channel, shannon_rate
+from repro.util.validation import check_nonnegative, check_positive
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class TwoUserRegion:
+    """The SIC pentagon and the TDMA triangle for one power pair."""
+
+    c1: float
+    c2: float
+    c_sum: float
+
+    def __post_init__(self) -> None:
+        check_positive("c1", self.c1)
+        check_positive("c2", self.c2)
+        check_positive("c_sum", self.c_sum)
+        if not (max(self.c1, self.c2) <= self.c_sum <= self.c1 + self.c2
+                + 1e-9):
+            raise ValueError(
+                "inconsistent region: need max(C1, C2) <= C_sum <= C1 + C2")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def pentagon_vertices(self) -> List[Point]:
+        """Counter-clockwise vertices of the SIC region.
+
+        ``(0,0) -> (C1,0) -> corner A -> corner B -> (0,C2)`` where the
+        corners are the two decode orders.  When ``C_sum == C1 + C2``
+        (no interference coupling) the two corners coincide with the
+        rectangle corner and the pentagon degenerates gracefully.
+        """
+        corner_a = (self.c1, self.c_sum - self.c1)   # 2 decoded first
+        corner_b = (self.c_sum - self.c2, self.c2)   # 1 decoded first
+        return [(0.0, 0.0), (self.c1, 0.0), corner_a, corner_b,
+                (0.0, self.c2)]
+
+    def tdma_vertices(self) -> List[Point]:
+        """Vertices of the no-SIC time-sharing triangle."""
+        return [(0.0, 0.0), (self.c1, 0.0), (0.0, self.c2)]
+
+    def contains(self, r1: float, r2: float, slack: float = 1e-9) -> bool:
+        """Is the rate pair achievable with SIC?"""
+        check_nonnegative("r1", r1)
+        check_nonnegative("r2", r2)
+        return (r1 <= self.c1 + slack and r2 <= self.c2 + slack
+                and r1 + r2 <= self.c_sum + slack)
+
+    def tdma_contains(self, r1: float, r2: float,
+                      slack: float = 1e-9) -> bool:
+        """Is the rate pair achievable by time sharing without SIC?"""
+        check_nonnegative("r1", r1)
+        check_nonnegative("r2", r2)
+        return r1 / self.c1 + r2 / self.c2 <= 1.0 + slack
+
+    @staticmethod
+    def _polygon_area(vertices: List[Point]) -> float:
+        """Shoelace formula (vertices in order)."""
+        area = 0.0
+        n = len(vertices)
+        for k in range(n):
+            x1, y1 = vertices[k]
+            x2, y2 = vertices[(k + 1) % n]
+            area += x1 * y2 - x2 * y1
+        return abs(area) / 2.0
+
+    @property
+    def pentagon_area(self) -> float:
+        return self._polygon_area(self.pentagon_vertices())
+
+    @property
+    def tdma_area(self) -> float:
+        return self._polygon_area(self.tdma_vertices())
+
+    @property
+    def area_advantage(self) -> float:
+        """SIC region area over TDMA region area (>= 1)."""
+        return self.pentagon_area / self.tdma_area
+
+    # ------------------------------------------------------------------
+    # Boundaries
+    # ------------------------------------------------------------------
+
+    def dominant_face(self, n_points: int = 11) -> List[Point]:
+        """Points along the sum-rate face (time-sharing the corners)."""
+        if n_points < 2:
+            raise ValueError("need at least two points")
+        (x_a, y_a) = (self.c1, self.c_sum - self.c1)
+        (x_b, y_b) = (self.c_sum - self.c2, self.c2)
+        return [
+            (x_a + (x_b - x_a) * k / (n_points - 1),
+             y_a + (y_b - y_a) * k / (n_points - 1))
+            for k in range(n_points)
+        ]
+
+    def max_equal_rate(self) -> float:
+        """The symmetric rate: largest r with (r, r) in the region."""
+        return min(self.c1, self.c2, self.c_sum / 2.0)
+
+    def tdma_max_equal_rate(self) -> float:
+        """The symmetric rate achievable without SIC."""
+        return self.c1 * self.c2 / (self.c1 + self.c2)
+
+
+def two_user_region(channel: Channel, s1_w: float,
+                    s2_w: float) -> TwoUserRegion:
+    """Build the region from received powers (the Fig. 2 construction)."""
+    check_positive("s1_w", s1_w)
+    check_positive("s2_w", s2_w)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+    return TwoUserRegion(
+        c1=float(shannon_rate(b, s1_w, 0.0, n0)),
+        c2=float(shannon_rate(b, s2_w, 0.0, n0)),
+        c_sum=float(shannon_rate(b, s1_w + s2_w, 0.0, n0)),
+    )

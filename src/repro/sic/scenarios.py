@@ -1,0 +1,147 @@
+"""Two transmitters to two different receivers — paper Section 3.2.
+
+With four RSS variables (``S_j^i`` = RSS of transmitter i at receiver j)
+the paper enumerates four cases by which signal dominates at each
+receiver (Fig. 5):
+
+* case A — each receiver's own signal is stronger: capture suffices,
+  SIC is not needed;
+* case B — R1 captures, R2 needs SIC to peel off T1's stronger signal;
+* case C — mirror image of B;
+* case D — both receivers need SIC.
+
+For each case this module computes SIC feasibility (the bitrate of the
+interfering transmitter must be decodable at the SIC receiver) and the
+completion times with and without SIC (Eqs. 7-9).  The per-topology
+entry point :func:`evaluate_pair_scenario` is what the Fig. 6 and
+Fig. 11b Monte-Carlo sweeps call.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.phy.shannon import Channel, airtime, shannon_rate
+from repro.util.validation import check_positive
+
+
+class PairCase(enum.Enum):
+    """Which receivers see their own signal dominated (Fig. 5)."""
+
+    BOTH_CAPTURE = "a"        # S11 > S12 and S22 > S21
+    SIC_AT_R2 = "b"           # S11 > S12 and S22 < S21
+    SIC_AT_R1 = "c"           # S11 < S12 and S22 > S21
+    SIC_AT_BOTH = "d"         # S11 < S12 and S22 < S21
+
+
+@dataclass(frozen=True)
+class PairRss:
+    """The four received signal strengths of a two-pair topology.
+
+    ``s_jk`` is the RSS of transmitter k at receiver j, in watts
+    (paper notation ``S_j^k``).
+    """
+
+    s11: float
+    s12: float
+    s21: float
+    s22: float
+
+    def __post_init__(self) -> None:
+        for name in ("s11", "s12", "s21", "s22"):
+            check_positive(name, getattr(self, name))
+
+
+@dataclass(frozen=True)
+class PairScenario:
+    """Result of analysing one two-pair topology."""
+
+    case: PairCase
+    sic_feasible: bool
+    z_serial_s: float
+    z_sic_s: float
+
+    @property
+    def gain(self) -> float:
+        """``Z_{-SIC} / Z_{+SIC}``, clipped at 1 when SIC is not used.
+
+        SIC is only engaged when it is feasible *and* beats serial
+        transmission; otherwise the MAC falls back to serial and the
+        gain is exactly 1 (the paper's "no gain" bucket).
+        """
+        if not self.sic_feasible or self.z_sic_s <= 0.0:
+            return 1.0
+        return max(1.0, self.z_serial_s / self.z_sic_s)
+
+
+def classify_pair_case(rss: PairRss) -> PairCase:
+    """Assign a topology to one of the four Fig. 5 cases."""
+    r1_captures = rss.s11 > rss.s12
+    r2_captures = rss.s22 > rss.s21
+    if r1_captures and r2_captures:
+        return PairCase.BOTH_CAPTURE
+    if r1_captures:
+        return PairCase.SIC_AT_R2
+    if r2_captures:
+        return PairCase.SIC_AT_R1
+    return PairCase.SIC_AT_BOTH
+
+
+def _mirror(rss: PairRss) -> PairRss:
+    """Swap the roles of the two pairs (case C -> case B)."""
+    return PairRss(s11=rss.s22, s12=rss.s21, s21=rss.s12, s22=rss.s11)
+
+
+def evaluate_pair_scenario(channel: Channel, packet_bits: float,
+                           rss: PairRss) -> PairScenario:
+    """Analyse one topology: case, SIC feasibility, Z with/without SIC.
+
+    Each transmitter has exactly one packet of ``packet_bits`` for its
+    own receiver; transmitters pick the best feasible bitrate for their
+    role (the paper's ideal-rate-adaptation assumption).
+    """
+    check_positive("packet_bits", packet_bits)
+    case = classify_pair_case(rss)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+
+    # The serial baseline is the same in every case: each link runs
+    # alone at its clean rate (Eq. 8).
+    t1_clean = airtime(packet_bits, shannon_rate(b, rss.s11, 0.0, n0))
+    t2_clean = airtime(packet_bits, shannon_rate(b, rss.s22, 0.0, n0))
+    z_serial = t1_clean + t2_clean
+
+    if case is PairCase.BOTH_CAPTURE:
+        # SIC plays no role; the MAC gain attributable to SIC is nil.
+        return PairScenario(case, sic_feasible=False,
+                            z_serial_s=z_serial, z_sic_s=z_serial)
+
+    if case is PairCase.SIC_AT_R1:
+        mirrored = evaluate_pair_scenario(channel, packet_bits, _mirror(rss))
+        return PairScenario(case, mirrored.sic_feasible,
+                            mirrored.z_serial_s, mirrored.z_sic_s)
+
+    if case is PairCase.SIC_AT_R2:
+        # T1 -> R1 needs no SIC but runs interference-limited; R2 must
+        # first decode T1 at T1's chosen rate, then its own signal
+        # rides clean (Eq. 7).  Feasibility: T1's rate, optimal for R1,
+        # must also be decodable at R2:
+        #   S21 / (S22 + N0)  >  S11 / (S12 + N0).
+        sinr_t1_at_r2 = rss.s21 / (rss.s22 + n0)
+        sinr_t1_at_r1 = rss.s11 / (rss.s12 + n0)
+        feasible = sinr_t1_at_r2 > sinr_t1_at_r1
+        t1_interfered = airtime(packet_bits,
+                                shannon_rate(b, rss.s11, rss.s12, n0))
+        z_sic = max(t1_interfered, t2_clean)
+        return PairScenario(case, feasible, z_serial, z_sic)
+
+    # Case D: SIC at both receivers.  Each link then runs at its clean
+    # rate (Eq. 9), but each receiver must be able to decode the other
+    # transmitter at that clean rate:
+    #   at R2:  S21 / (S22 + N0) > S11 / N0
+    #   at R1:  S12 / (S11 + N0) > S22 / N0
+    feasible_r2 = rss.s21 / (rss.s22 + n0) > rss.s11 / n0
+    feasible_r1 = rss.s12 / (rss.s11 + n0) > rss.s22 / n0
+    feasible = feasible_r1 and feasible_r2
+    z_sic = max(t1_clean, t2_clean)
+    return PairScenario(case, feasible, z_serial, z_sic)

@@ -1,0 +1,26 @@
+"""Event-driven WLAN simulator.
+
+The analytic layer (:mod:`repro.sic.airtime`, :mod:`repro.scheduling`)
+predicts completion times from closed-form expressions.  This package
+*executes* schedules against the operational SIC receiver model
+(:class:`repro.sic.receiver.SicReceiver`) in a discrete-event loop, so
+integration tests can assert that every scheduled packet actually
+decodes and that measured slot durations equal the analytic ones.
+
+* :mod:`repro.sim.engine` — a minimal discrete-event engine;
+* :mod:`repro.sim.wlan` — uplink WLAN simulation of a
+  :class:`~repro.scheduling.scheduler.Schedule`;
+* :mod:`repro.sim.metrics` — per-client and aggregate statistics.
+"""
+
+from repro.sim.engine import Event, EventScheduler
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.wlan import UplinkSimulator, SimulationError
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "SimulationError",
+    "SimulationMetrics",
+    "UplinkSimulator",
+]

@@ -1,0 +1,79 @@
+"""Simulation metrics: per-client and aggregate upload statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One simulated packet: who sent it, when, at what rate, outcome."""
+
+    client: str
+    start_s: float
+    end_s: float
+    rate_bps: float
+    bits: float
+    decoded: bool
+    concurrent_with: Tuple[str, ...] = ()
+
+    @property
+    def airtime_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class SimulationMetrics:
+    """Accumulates packet records and derives summary statistics."""
+
+    packets: List[PacketRecord] = field(default_factory=list)
+
+    def record(self, packet: PacketRecord) -> None:
+        self.packets.append(packet)
+
+    @property
+    def completion_time_s(self) -> float:
+        """Time the last packet finished (0 for an empty run)."""
+        return max((p.end_s for p in self.packets), default=0.0)
+
+    @property
+    def delivered_bits(self) -> float:
+        return sum(p.bits for p in self.packets if p.decoded)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for p in self.packets if not p.decoded)
+
+    @property
+    def all_decoded(self) -> bool:
+        return self.failed_count == 0 and bool(self.packets)
+
+    @property
+    def throughput_bps(self) -> float:
+        total = self.completion_time_s
+        if total <= 0.0:
+            return 0.0
+        return self.delivered_bits / total
+
+    def per_client(self) -> Dict[str, Dict[str, float]]:
+        """Per-client airtime / bits / packet counts."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for p in self.packets:
+            entry = stats.setdefault(p.client, {
+                "airtime_s": 0.0, "bits": 0.0, "packets": 0.0, "failed": 0.0,
+            })
+            entry["airtime_s"] += p.airtime_s
+            entry["packets"] += 1.0
+            if p.decoded:
+                entry["bits"] += p.bits
+            else:
+                entry["failed"] += 1.0
+        return stats
+
+    def concurrency_fraction(self) -> float:
+        """Fraction of packets sent while another was on the air."""
+        if not self.packets:
+            return 0.0
+        overlapped = sum(1 for p in self.packets if p.concurrent_with)
+        return overlapped / len(self.packets)

@@ -1,0 +1,37 @@
+"""MAC-layer techniques that empower SIC (paper Section 5).
+
+* :mod:`repro.techniques.pairing` — joint-transmission cost of a client
+  pair, the edge weight of the SIC-aware scheduler (Section 5.1);
+* :mod:`repro.techniques.power_control` — optimal power reduction that
+  equalises the two SIC bitrates (Section 5.2);
+* :mod:`repro.techniques.multirate` — multirate packetization: the
+  bottleneck client speeds up once its partner finishes (Section 5.3);
+* :mod:`repro.techniques.packing` — packet packing: fill the air-time
+  gap under a slow packet with extra fast packets (Section 5.4).
+"""
+
+from repro.techniques.multirate import multirate_pair_airtime
+from repro.techniques.packing import (
+    pack_pair_links,
+    pack_uplink_airtime,
+)
+from repro.techniques.pairing import (
+    PairAirtime,
+    TechniqueSet,
+    pair_airtime,
+)
+from repro.techniques.power_control import (
+    power_controlled_pair_airtime,
+    equal_rate_weak_rss,
+)
+
+__all__ = [
+    "PairAirtime",
+    "TechniqueSet",
+    "equal_rate_weak_rss",
+    "multirate_pair_airtime",
+    "pack_pair_links",
+    "pack_uplink_airtime",
+    "pair_airtime",
+    "power_controlled_pair_airtime",
+]

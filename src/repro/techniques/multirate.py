@@ -1,0 +1,72 @@
+"""Multirate packetization (paper Section 5.3, after [15]).
+
+Under SIC the stronger client runs at its interference-limited rate
+*only while its partner is still on the air*.  With multirate
+packetization, different parts of a packet carry different bitrates:
+once the weaker (faster-finishing) client completes, the stronger
+client's remaining bits switch to the clean rate the channel now
+supports.  Fig. 10f: the 11.5-unit pairing drops to about 10.4 units.
+
+This helps exactly when the stronger client is the bottleneck — when
+the weaker client is the slow one, its bits already flow at the clean
+(post-cancellation) rate throughout and there is nothing to switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.shannon import Channel, airtime, shannon_rate
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MultiratePair:
+    """Joint airtime with multirate packetization for the bottleneck."""
+
+    airtime_s: float
+    #: Seconds the stronger client spent at the interference-limited rate.
+    overlap_s: float
+    #: Seconds the stronger client spent at its clean rate afterwards.
+    boost_s: float
+
+    @property
+    def used_rate_switch(self) -> bool:
+        return self.boost_s > 0.0
+
+
+def multirate_pair_airtime(channel: Channel, packet_bits: float,
+                           rss_a_w: float, rss_b_w: float) -> MultiratePair:
+    """Joint SIC airtime when the stronger packet may switch rates.
+
+    Phase 1 (both on air, duration = the weaker packet's clean-rate
+    airtime): the stronger client sends at Eq. 1's interference-limited
+    rate.  Phase 2: any remaining bits of the stronger packet go at the
+    clean Eq. 2-style rate ``B log2(1 + S_strong / N0)``.
+    """
+    check_positive("packet_bits", packet_bits)
+    check_positive("rss_a_w", rss_a_w)
+    check_positive("rss_b_w", rss_b_w)
+    strong, weak = max(rss_a_w, rss_b_w), min(rss_a_w, rss_b_w)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+
+    rate_strong_interfered = shannon_rate(b, strong, weak, n0)
+    rate_strong_clean = shannon_rate(b, strong, 0.0, n0)
+    rate_weak_clean = shannon_rate(b, weak, 0.0, n0)
+
+    t_weak = float(airtime(packet_bits, rate_weak_clean))
+    t_strong_interfered = float(airtime(packet_bits, rate_strong_interfered))
+
+    if t_strong_interfered <= t_weak:
+        # The weaker client is the bottleneck; the stronger packet fits
+        # entirely inside the overlap and no rate switch happens.
+        return MultiratePair(airtime_s=t_weak,
+                             overlap_s=t_strong_interfered,
+                             boost_s=0.0)
+
+    bits_in_overlap = rate_strong_interfered * t_weak
+    remaining_bits = packet_bits - bits_in_overlap
+    boost = remaining_bits / rate_strong_clean
+    return MultiratePair(airtime_s=t_weak + boost,
+                         overlap_s=t_weak,
+                         boost_s=boost)

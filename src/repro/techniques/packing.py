@@ -1,0 +1,191 @@
+"""Packet packing (paper Section 5.4).
+
+When one transmission is much slower than its SIC partner, the fast
+side finishes early and the tail of the slow packet flies alone.
+Packet packing fills that gap by sending *additional* packets at the
+fast rate, back to back, underneath the slow one.
+
+Two flavours are implemented:
+
+* :func:`pack_pair_links` — the two-link form used by the Fig. 14
+  trace evaluation: one slow and one fast transmission, the fast side
+  sends as many packets as fit inside the slow packet's airtime;
+* :func:`pack_uplink_airtime` — the multi-client uplink form of
+  Fig. 10g: several clients' packets are packed serially under one
+  low-rate transmission.  The paper notes that packets after the first
+  cannot reliably synchronise on today's SIC receivers; the
+  ``allow_mid_air_joins`` flag models both today's restriction (False:
+  only the first packed packet may overlap) and the "future
+  advancements" case (True).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.phy.shannon import Channel, airtime, shannon_rate
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PackedPair:
+    """Outcome of packing fast packets under one slow transmission."""
+
+    #: Completion time of the whole packed exchange.
+    airtime_s: float
+    #: Number of packets carried on the fast link (>= 1).
+    fast_packets: int
+    #: Time the same packet mix would need serially, each link at its
+    #: clean rate (the no-SIC baseline for the gain metric).
+    serial_airtime_s: float
+
+    @property
+    def gain(self) -> float:
+        """Throughput gain over serial delivery of the same packet mix."""
+        if self.airtime_s <= 0.0:
+            return 1.0
+        return max(1.0, self.serial_airtime_s / self.airtime_s)
+
+
+def pack_pair_links(channel: Channel, packet_bits: float,
+                    slow_rss_w: float, slow_interference_w: float,
+                    fast_rss_w: float, fast_interference_w: float,
+                    sic_feasible: bool,
+                    max_fast_packets: int = 8) -> PackedPair:
+    """Pack fast-link packets under one slow-link packet.
+
+    ``slow_*`` describes the transmission that dominates the airtime
+    (RSS at its receiver and the interference it sees there during the
+    overlap); ``fast_*`` likewise for the quicker link.  When
+    ``sic_feasible`` is False the links cannot overlap and the result
+    degenerates to serial transmission (gain 1).
+
+    The gain metric compares like for like: the packed exchange delivers
+    ``1 + k`` packets, so the baseline is the serial time of those same
+    ``1 + k`` packets with every link at its clean rate.
+    """
+    check_positive("packet_bits", packet_bits)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+    rate_slow_clean = shannon_rate(b, slow_rss_w, 0.0, n0)
+    rate_fast_clean = shannon_rate(b, fast_rss_w, 0.0, n0)
+    t_slow_clean = float(airtime(packet_bits, rate_slow_clean))
+    t_fast_clean = float(airtime(packet_bits, rate_fast_clean))
+
+    if not sic_feasible:
+        return PackedPair(airtime_s=t_slow_clean + t_fast_clean,
+                          fast_packets=1,
+                          serial_airtime_s=t_slow_clean + t_fast_clean)
+
+    rate_slow = shannon_rate(b, slow_rss_w, slow_interference_w, n0)
+    rate_fast = shannon_rate(b, fast_rss_w, fast_interference_w, n0)
+    t_slow = float(airtime(packet_bits, rate_slow))
+    t_fast = float(airtime(packet_bits, rate_fast))
+    if t_fast >= t_slow:
+        # Nothing to pack: the "fast" link is not actually faster here.
+        concurrent = max(t_slow, t_fast)
+        serial = t_slow_clean + t_fast_clean
+        return PackedPair(airtime_s=min(concurrent, serial),
+                          fast_packets=1, serial_airtime_s=serial)
+
+    fast_fit = max(1, min(max_fast_packets, math.floor(t_slow / t_fast)))
+    packed_time = max(t_slow, fast_fit * t_fast)
+    serial = t_slow_clean + fast_fit * t_fast_clean
+    if serial < packed_time:  # packing never used when it loses
+        return PackedPair(airtime_s=t_slow_clean + t_fast_clean,
+                          fast_packets=1,
+                          serial_airtime_s=t_slow_clean + t_fast_clean)
+    return PackedPair(airtime_s=packed_time, fast_packets=fast_fit,
+                      serial_airtime_s=serial)
+
+
+@dataclass(frozen=True)
+class PackedUplink:
+    """Outcome of packing several clients under one slow uplink packet."""
+
+    airtime_s: float
+    #: Names/indices of clients packed under the slow one, in order.
+    packed_order: Tuple[int, ...]
+    serial_airtime_s: float
+
+    @property
+    def gain(self) -> float:
+        if self.airtime_s <= 0.0:
+            return 1.0
+        return max(1.0, self.serial_airtime_s / self.airtime_s)
+
+
+def pack_uplink_airtime(channel: Channel, packet_bits: float,
+                        slow_rss_w: float,
+                        fast_rss_ws: Sequence[float],
+                        allow_mid_air_joins: bool = False) -> PackedUplink:
+    """Pack one packet from each fast client under one slow uplink packet.
+
+    Two-signal SIC at the AP: at any instant at most one fast packet
+    overlaps the slow one, and the *stronger* of the two signals is
+    decoded first, interference-limited, while the weaker rides clean
+    after cancellation.  Hence a fast client stronger than the slow one
+    sends at ``rate(fast, slow)`` and the slow packet decodes clean; a
+    fast client *weaker* than the slow one rides clean itself while the
+    slow packet must tolerate it as interference (the paper's "weaker
+    client could send multiple packets" variant).
+
+    ``allow_mid_air_joins=False`` (today's hardware, per the paper)
+    permits only the *first* fast packet to overlap the slow one —
+    later ones would have to synchronise mid-air — so any remaining
+    fast packets queue up serially after the slow packet ends.
+    """
+    check_positive("packet_bits", packet_bits)
+    check_positive("slow_rss_w", slow_rss_w)
+    if not fast_rss_ws:
+        raise ValueError("need at least one fast client to pack")
+    for rss in fast_rss_ws:
+        check_positive("fast client RSS", rss)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+
+    # The slow packet spans every overlap: it is interference-limited
+    # by the strongest *weaker-than-slow* fast client (those decode
+    # after the slow signal is cancelled, so they interfere with it);
+    # stronger fast clients are cancelled before the slow decode.
+    weaker_fast = [rss for rss in fast_rss_ws if rss < slow_rss_w]
+    slow_interference = max(weaker_fast) if weaker_fast else 0.0
+    rate_slow = shannon_rate(b, slow_rss_w, slow_interference, n0)
+    t_slow = float(airtime(packet_bits, rate_slow))
+
+    fast_times = [
+        float(airtime(packet_bits,
+                      shannon_rate(b, rss,
+                                   slow_rss_w if rss >= slow_rss_w else 0.0,
+                                   n0)))
+        for rss in fast_rss_ws
+    ]
+    # Pack fastest-first so as many packets as possible fit in the gap.
+    order = sorted(range(len(fast_times)), key=lambda i: fast_times[i])
+
+    elapsed = 0.0
+    packed: List[int] = []
+    leftover: List[int] = []
+    for idx in order:
+        fits = elapsed + fast_times[idx] <= t_slow
+        first = not packed
+        if fits and (first or allow_mid_air_joins):
+            packed.append(idx)
+            elapsed += fast_times[idx]
+        else:
+            leftover.append(idx)
+
+    # Leftovers transmit after the slow packet ends, alone and clean.
+    fast_clean_times = [
+        float(airtime(packet_bits, shannon_rate(b, rss, 0.0, n0)))
+        for rss in fast_rss_ws
+    ]
+    tail = sum(fast_clean_times[i] for i in leftover)
+    total = max(t_slow, elapsed) + tail
+
+    t_slow_clean = float(airtime(packet_bits,
+                                 shannon_rate(b, slow_rss_w, 0.0, n0)))
+    serial = t_slow_clean + sum(fast_clean_times)
+    return PackedUplink(airtime_s=min(total, serial),
+                        packed_order=tuple(packed),
+                        serial_airtime_s=serial)

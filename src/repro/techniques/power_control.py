@@ -1,0 +1,98 @@
+"""Power reduction for SIC pairs (paper Section 5.2).
+
+Two clients are a *perfect pair* when both achieve the same bitrate
+under SIC, i.e. ``S_strong / (S_weak + N0) == S_weak / N0``.  When the
+two RSSs are closer than that, the stronger client's interference-
+limited rate is the bottleneck; lowering the *weaker* client's transmit
+power widens the RSS gap, raising the stronger client's rate and
+lowering the weaker's until they meet.  Power can only ever be
+*reduced* — raising it would "amplify the overall channel interference
+and may cause a cascading effect" (Section 5.4).
+
+The optimum is closed-form.  Equalising rates means solving
+
+    S_strong / (x + N0) = x / N0
+    =>  x = (-N0 + sqrt(N0^2 + 4 * S_strong * N0)) / 2
+
+for the weaker RSS x (exposed as :func:`equal_rate_weak_rss`).  If the
+pair's actual weak RSS is already below x, the weak link is the
+bottleneck and power reduction cannot help.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.phy.shannon import Channel, airtime, shannon_rate
+from repro.util.validation import check_positive
+
+
+def equal_rate_weak_rss(channel: Channel, strong_rss_w: float) -> float:
+    """The weak RSS that makes both SIC bitrates equal (closed form)."""
+    check_positive("strong_rss_w", strong_rss_w)
+    n0 = channel.noise_w
+    return 0.5 * (-n0 + math.sqrt(n0 * n0 + 4.0 * strong_rss_w * n0))
+
+
+@dataclass(frozen=True)
+class PowerControlledPair:
+    """Outcome of power-controlled joint transmission of two packets."""
+
+    airtime_s: float
+    strong_rss_w: float
+    #: The weaker client's RSS as given (before any reduction).
+    original_weak_rss_w: float
+    #: The weaker client's RSS actually used (== original when no
+    #: reduction was beneficial).
+    weak_rss_w: float
+    power_reduced: bool
+
+    @property
+    def weak_power_backoff_db(self) -> float:
+        """How many dB the weaker client backed off (0 when unchanged)."""
+        if not self.power_reduced:
+            return 0.0
+        return -10.0 * math.log10(self.weak_rss_w / self.original_weak_rss_w)
+
+
+def power_controlled_pair_airtime(channel: Channel, packet_bits: float,
+                                  rss_a_w: float,
+                                  rss_b_w: float) -> PowerControlledPair:
+    """Minimum joint SIC airtime when the weaker power may be reduced.
+
+    Decode order is fixed by RSS (stronger first).  If the stronger
+    link's interference-limited rate is the bottleneck, the weaker
+    client backs off to the closed-form equal-rate point; otherwise
+    powers stay untouched and the result equals the plain Eq. 6 time.
+    """
+    check_positive("packet_bits", packet_bits)
+    check_positive("rss_a_w", rss_a_w)
+    check_positive("rss_b_w", rss_b_w)
+    strong, weak = max(rss_a_w, rss_b_w), min(rss_a_w, rss_b_w)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+
+    optimal_weak = equal_rate_weak_rss(channel, strong)
+    if optimal_weak < weak:
+        # Back the weaker client off to the equal-rate point: both
+        # transmissions now run at the same bitrate and finish together.
+        rate = shannon_rate(b, optimal_weak, 0.0, n0)
+        return PowerControlledPair(
+            airtime_s=float(airtime(packet_bits, rate)),
+            strong_rss_w=strong,
+            original_weak_rss_w=weak,
+            weak_rss_w=optimal_weak,
+            power_reduced=True,
+        )
+
+    # Gap already at or beyond optimal: the weak (clean-rate) link is
+    # the bottleneck and no power reduction helps.
+    t_strong = airtime(packet_bits, shannon_rate(b, strong, weak, n0))
+    t_weak = airtime(packet_bits, shannon_rate(b, weak, 0.0, n0))
+    return PowerControlledPair(
+        airtime_s=float(max(t_strong, t_weak)),
+        strong_rss_w=strong,
+        original_weak_rss_w=weak,
+        weak_rss_w=weak,
+        power_reduced=False,
+    )

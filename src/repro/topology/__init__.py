@@ -1,0 +1,35 @@
+"""Topology substrate: geometry, node types, scenario generators.
+
+Provides the node placements every experiment consumes:
+
+* :mod:`repro.topology.geometry` — 2-D points and distances;
+* :mod:`repro.topology.nodes` — access points, clients, generic radios;
+* :mod:`repro.topology.generators` — deterministic and random placements
+  for each building-block scenario of the paper (two transmitters to one
+  receiver, two transmitter-receiver pairs, EWLAN grids, residential
+  apartment rows, mesh chains).
+"""
+
+from repro.topology.geometry import Point, distance
+from repro.topology.nodes import AccessPoint, Client, Node, Radio
+from repro.topology.generators import (
+    random_pair_topology,
+    random_uplink_clients,
+    residential_row,
+    mesh_chain,
+    ewlan_grid,
+)
+
+__all__ = [
+    "AccessPoint",
+    "Client",
+    "Node",
+    "Point",
+    "Radio",
+    "distance",
+    "ewlan_grid",
+    "mesh_chain",
+    "random_pair_topology",
+    "random_uplink_clients",
+    "residential_row",
+]

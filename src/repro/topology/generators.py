@@ -1,0 +1,209 @@
+"""Scenario topology generators.
+
+Each generator produces the node placement of one building-block
+scenario from the paper:
+
+* :func:`random_pair_topology` — the Monte-Carlo setup of Section 3.2 /
+  Fig. 6: two transmitters a fixed *range* apart, each receiver placed
+  uniformly at random within range of its transmitter;
+* :func:`random_uplink_clients` — N clients around one AP (Sections
+  3.1, 5, 6: the upload scenario);
+* :func:`ewlan_grid` — the enterprise WLAN of Fig. 7a: a grid of wired
+  APs with clients scattered among them;
+* :func:`residential_row` — the apartment row of Fig. 7b: one AP per
+  home, clients confined to their own home's AP;
+* :func:`mesh_chain` — the multihop chain A->C->D->E of Section 4.3
+  with a long-short-long hop structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.topology.geometry import (
+    Point,
+    random_point_in_disk,
+    random_points_in_rect,
+)
+from repro.topology.nodes import AccessPoint, Client, Radio
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_in_range, check_positive
+
+#: Receivers are never placed closer than this to their transmitter, to
+#: keep path-loss models out of the near field.
+MIN_LINK_DISTANCE_M = 1.0
+
+
+@dataclass(frozen=True)
+class PairTopology:
+    """Two transmitter-receiver pairs (the Fig. 5 / Fig. 6 scenario)."""
+
+    t1: Radio
+    r1: Radio
+    t2: Radio
+    r2: Radio
+
+    @property
+    def nodes(self) -> Tuple[Radio, Radio, Radio, Radio]:
+        return (self.t1, self.r1, self.t2, self.r2)
+
+
+def random_pair_topology(range_m: float, rng: SeedLike = None,
+                         separation_m: float = None) -> PairTopology:
+    """Random two-pair placement following the paper's Monte-Carlo recipe.
+
+    "We fix the positions of the transmitters separated by a certain
+    range.  The receivers are then placed randomly within the range of
+    their transmitters."
+
+    ``separation_m`` defaults to ``range_m`` (transmitters exactly one
+    range apart, the paper's setup).
+    """
+    check_positive("range_m", range_m)
+    if separation_m is None:
+        separation_m = range_m
+    check_positive("separation_m", separation_m)
+    generator = make_rng(rng)
+    t1_pos = Point(0.0, 0.0)
+    t2_pos = Point(separation_m, 0.0)
+    r1_pos = random_point_in_disk(t1_pos, range_m, generator,
+                                  min_radius_m=MIN_LINK_DISTANCE_M)
+    r2_pos = random_point_in_disk(t2_pos, range_m, generator,
+                                  min_radius_m=MIN_LINK_DISTANCE_M)
+    return PairTopology(
+        t1=Radio("T1", t1_pos),
+        r1=Radio("R1", r1_pos),
+        t2=Radio("T2", t2_pos),
+        r2=Radio("R2", r2_pos),
+    )
+
+
+@dataclass(frozen=True)
+class UplinkTopology:
+    """One AP and a set of backlogged clients (the upload scenario)."""
+
+    ap: AccessPoint
+    clients: Tuple[Client, ...]
+
+
+def random_uplink_clients(n_clients: int, cell_radius_m: float,
+                          rng: SeedLike = None,
+                          min_distance_m: float = MIN_LINK_DISTANCE_M,
+                          ap_name: str = "AP1") -> UplinkTopology:
+    """``n_clients`` clients uniform in a disk cell around one AP."""
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    check_positive("cell_radius_m", cell_radius_m)
+    generator = make_rng(rng)
+    ap = AccessPoint(ap_name, Point(0.0, 0.0))
+    clients = tuple(
+        Client(
+            f"C{i + 1}",
+            random_point_in_disk(ap.position, cell_radius_m, generator,
+                                 min_radius_m=min_distance_m),
+            associated_ap=ap_name,
+        )
+        for i in range(n_clients)
+    )
+    return UplinkTopology(ap=ap, clients=clients)
+
+
+@dataclass(frozen=True)
+class WlanTopology:
+    """Multiple APs plus clients (enterprise or residential)."""
+
+    aps: Tuple[AccessPoint, ...]
+    clients: Tuple[Client, ...]
+
+    def clients_of(self, ap_name: str) -> List[Client]:
+        return [c for c in self.clients if c.associated_ap == ap_name]
+
+
+def ewlan_grid(ap_rows: int, ap_cols: int, ap_spacing_m: float,
+               clients_per_ap: int, rng: SeedLike = None) -> WlanTopology:
+    """Enterprise WLAN: grid of wired APs, clients scattered uniformly.
+
+    Clients associate to their *nearest* AP (the enterprise setting lets
+    a client use any AP, and nearest is best — the observation the paper
+    uses to rule out SIC for the two-clients-two-APs EWLAN case).
+    """
+    if ap_rows < 1 or ap_cols < 1:
+        raise ValueError("need at least one AP")
+    if clients_per_ap < 0:
+        raise ValueError("clients_per_ap must be non-negative")
+    check_positive("ap_spacing_m", ap_spacing_m)
+    generator = make_rng(rng)
+    aps = tuple(
+        AccessPoint(f"AP{r * ap_cols + c + 1}",
+                    Point(c * ap_spacing_m, r * ap_spacing_m))
+        for r in range(ap_rows)
+        for c in range(ap_cols)
+    )
+    width = max(ap_cols - 1, 1) * ap_spacing_m
+    height = max(ap_rows - 1, 1) * ap_spacing_m
+    n_clients = clients_per_ap * len(aps)
+    positions = random_points_in_rect(n_clients, width, height, generator)
+    clients = []
+    for i, pos in enumerate(positions):
+        nearest = min(aps, key=lambda ap: ap.position.distance_to(pos))
+        clients.append(Client(f"C{i + 1}", pos, associated_ap=nearest.name))
+    return WlanTopology(aps=aps, clients=tuple(clients))
+
+
+def residential_row(n_homes: int, home_width_m: float,
+                    clients_per_home: int, rng: SeedLike = None) -> WlanTopology:
+    """Residential WLANs: a row of homes, one (WPA-locked) AP per home.
+
+    Unlike the enterprise case, each client is bound to *its own home's*
+    AP even when a neighbour's AP is closer — the restriction that,
+    per Section 4.2, "strangely provides some opportunities for SIC".
+    """
+    if n_homes < 1:
+        raise ValueError("need at least one home")
+    if clients_per_home < 0:
+        raise ValueError("clients_per_home must be non-negative")
+    check_positive("home_width_m", home_width_m)
+    generator = make_rng(rng)
+    aps = []
+    clients = []
+    for h in range(n_homes):
+        left = h * home_width_m
+        ap_x = left + generator.uniform(0.2, 0.8) * home_width_m
+        ap = AccessPoint(f"AP{h + 1}", Point(ap_x, generator.uniform(2.0, 8.0)))
+        aps.append(ap)
+        for k in range(clients_per_home):
+            pos = Point(left + generator.uniform(0.0, home_width_m),
+                        generator.uniform(0.0, 10.0))
+            clients.append(Client(f"H{h + 1}C{k + 1}", pos,
+                                  associated_ap=ap.name))
+    return WlanTopology(aps=tuple(aps), clients=tuple(clients))
+
+
+@dataclass(frozen=True)
+class MeshChain:
+    """A linear multihop chain of mesh radios."""
+
+    nodes: Tuple[Radio, ...]
+
+    def hops(self) -> List[Tuple[Radio, Radio]]:
+        return list(zip(self.nodes, self.nodes[1:]))
+
+
+def mesh_chain(hop_lengths_m: List[float]) -> MeshChain:
+    """A mesh chain with the given hop lengths along a line.
+
+    ``mesh_chain([40, 10, 40])`` builds the long-short-long A->C->D->E
+    pattern of Section 4.3 that is "a perfect recipe for SIC at C".
+    """
+    if not hop_lengths_m:
+        raise ValueError("need at least one hop")
+    for length in hop_lengths_m:
+        check_in_range("hop length", length, low=MIN_LINK_DISTANCE_M)
+    names = [chr(ord("A") + i) for i in range(len(hop_lengths_m) + 1)]
+    x = 0.0
+    nodes = [Radio(names[0], Point(0.0, 0.0))]
+    for name, length in zip(names[1:], hop_lengths_m):
+        x += length
+        nodes.append(Radio(name, Point(x, 0.0)))
+    return MeshChain(nodes=tuple(nodes))

@@ -1,0 +1,88 @@
+"""2-D geometry primitives used by the topology generators."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane, metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=float)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Centroid of a non-empty point collection."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of an empty point set is undefined")
+    return Point(sum(p.x for p in pts) / len(pts), sum(p.y for p in pts) / len(pts))
+
+
+def random_point_in_disk(center: Point, radius_m: float,
+                         rng: SeedLike = None,
+                         min_radius_m: float = 0.0) -> Point:
+    """A point uniformly distributed in an annulus around ``center``.
+
+    ``min_radius_m`` keeps receivers out of the unphysical near field of
+    their transmitter (a zero distance would mean infinite RSS).
+    """
+    check_positive("radius_m", radius_m)
+    if not 0.0 <= min_radius_m < radius_m:
+        raise ValueError("need 0 <= min_radius_m < radius_m")
+    generator = make_rng(rng)
+    # Uniform over area: r = sqrt(U * (R^2 - r0^2) + r0^2).
+    u = generator.random()
+    r = math.sqrt(u * (radius_m ** 2 - min_radius_m ** 2) + min_radius_m ** 2)
+    theta = generator.uniform(0.0, 2.0 * math.pi)
+    return Point(center.x + r * math.cos(theta), center.y + r * math.sin(theta))
+
+
+def random_points_in_rect(count: int, width_m: float, height_m: float,
+                          rng: SeedLike = None) -> List[Point]:
+    """``count`` points uniform over a ``width x height`` rectangle."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    check_positive("width_m", width_m)
+    check_positive("height_m", height_m)
+    generator = make_rng(rng)
+    xs = generator.uniform(0.0, width_m, size=count)
+    ys = generator.uniform(0.0, height_m, size=count)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def grid_points(rows: int, cols: int, spacing_m: float,
+                origin: Optional[Point] = None) -> List[Point]:
+    """A ``rows x cols`` grid of points with the given spacing."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    check_positive("spacing_m", spacing_m)
+    base = origin or Point(0.0, 0.0)
+    return [
+        Point(base.x + c * spacing_m, base.y + r * spacing_m)
+        for r in range(rows)
+        for c in range(cols)
+    ]

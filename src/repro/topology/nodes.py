@@ -1,0 +1,73 @@
+"""Node types: generic radios, access points, clients.
+
+A node is a named radio at a position with a maximum transmit power.
+The default transmit power (100 mW = 20 dBm) is the 802.11 norm; the
+power-reduction technique of paper Section 5.2 lowers a client's
+*effective* power below this maximum, never above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.geometry import Point
+from repro.util.units import dbm_to_watts
+from repro.util.validation import check_positive
+
+#: Default 802.11 transmit power: 20 dBm = 100 mW.
+DEFAULT_TX_POWER_W = float(dbm_to_watts(20.0))
+
+
+@dataclass(frozen=True)
+class Node:
+    """A named radio node at a fixed position."""
+
+    name: str
+    position: Point
+    max_tx_power_w: float = DEFAULT_TX_POWER_W
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        check_positive("max_tx_power_w", self.max_tx_power_w)
+
+    def distance_to(self, other: "Node") -> float:
+        return self.position.distance_to(other.position)
+
+
+@dataclass(frozen=True)
+class Radio(Node):
+    """A generic transmitter/receiver (mesh node, ad-hoc station)."""
+
+
+@dataclass(frozen=True)
+class AccessPoint(Node):
+    """An infrastructure access point."""
+
+
+@dataclass(frozen=True)
+class Client(Node):
+    """A WLAN client station, optionally associated to an AP by name."""
+
+    associated_ap: str = ""
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed transmitter -> receiver link."""
+
+    transmitter: Node
+    receiver: Node
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.transmitter.name == self.receiver.name:
+            raise ValueError("a link cannot connect a node to itself")
+
+    @property
+    def length_m(self) -> float:
+        return self.transmitter.distance_to(self.receiver)
+
+    def __str__(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        return f"{self.transmitter.name}->{self.receiver.name}{tag}"

@@ -1,0 +1,46 @@
+"""Trace substrate: synthetic stand-ins for the paper's testbed traces.
+
+The paper evaluates on two proprietary datasets we cannot access:
+
+* two weeks of 802.11g RSSI traces from a busy Duke University
+  building, parsed into 15-minute association snapshots (Fig. 13);
+* link measurements from 5 co-located Soekris APs to 100 client
+  locations, recording each link's SNR and its best discrete bitrate at
+  90 % packet success, clean and under interference (Fig. 14).
+
+This package generates statistically equivalent synthetic traces from
+the propagation substrate (log-distance path loss + log-normal
+shadowing), with the same record structure the evaluations consume, and
+round-trips them through JSONL files so the experiments can also run
+from on-disk traces.
+"""
+
+from repro.traces.records import (
+    ApSnapshot,
+    ClientObservation,
+    DownlinkMeasurement,
+    UploadTrace,
+)
+from repro.traces.synthetic import UploadTraceConfig, UploadTraceGenerator
+from repro.traces.downlink import DownlinkTraceConfig, DownlinkTraceGenerator
+from repro.traces.io import (
+    read_downlink_measurements,
+    read_upload_trace,
+    write_downlink_measurements,
+    write_upload_trace,
+)
+
+__all__ = [
+    "ApSnapshot",
+    "ClientObservation",
+    "DownlinkMeasurement",
+    "DownlinkTraceConfig",
+    "DownlinkTraceGenerator",
+    "UploadTrace",
+    "UploadTraceConfig",
+    "UploadTraceGenerator",
+    "read_downlink_measurements",
+    "read_upload_trace",
+    "write_downlink_measurements",
+    "write_upload_trace",
+]

@@ -1,0 +1,124 @@
+"""Command-line trace generation.
+
+Generate the synthetic trace files the Section-7 evaluations consume::
+
+    python -m repro.traces upload --out building.jsonl --days 14
+    python -m repro.traces downlink --out campaign.jsonl --locations 100
+    python -m repro.traces inspect building.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.traces.downlink import DownlinkTraceConfig, DownlinkTraceGenerator
+from repro.traces.io import (
+    read_downlink_measurements,
+    read_upload_trace,
+    write_downlink_measurements,
+    write_upload_trace,
+)
+from repro.traces.synthetic import UploadTraceConfig, UploadTraceGenerator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.traces",
+        description="Generate or inspect synthetic SIC evaluation traces.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    upload = sub.add_parser("upload",
+                            help="generate a building upload RSSI trace")
+    upload.add_argument("--out", required=True, type=Path)
+    upload.add_argument("--days", type=float, default=14.0)
+    upload.add_argument("--peak-clients", type=float, default=24.0)
+    upload.add_argument("--alpha", type=float, default=3.5,
+                        help="path-loss exponent")
+    upload.add_argument("--shadowing-db", type=float, default=6.0)
+    upload.add_argument("--seed", type=int, default=2010)
+
+    downlink = sub.add_parser("downlink",
+                              help="generate a downlink measurement "
+                                   "campaign")
+    downlink.add_argument("--out", required=True, type=Path)
+    downlink.add_argument("--locations", type=int, default=100)
+    downlink.add_argument("--aps", type=int, default=5)
+    downlink.add_argument("--alpha", type=float, default=3.5)
+    downlink.add_argument("--seed", type=int, default=2010)
+
+    inspect = sub.add_parser("inspect",
+                             help="summarise an existing trace file")
+    inspect.add_argument("path", type=Path)
+
+    return parser
+
+
+def _cmd_upload(args: argparse.Namespace) -> int:
+    config = UploadTraceConfig(duration_days=args.days,
+                               peak_clients=args.peak_clients,
+                               pathloss_exponent=args.alpha,
+                               shadowing_sigma_db=args.shadowing_db)
+    trace = UploadTraceGenerator(config).generate(args.seed)
+    write_upload_trace(trace, args.out)
+    busy = len(trace.busy_snapshots(2))
+    print(f"wrote {args.out}: {len(trace)} snapshots over "
+          f"{trace.duration_s / 86400:.1f} days ({busy} with >= 2 clients)")
+    return 0
+
+
+def _cmd_downlink(args: argparse.Namespace) -> int:
+    config = DownlinkTraceConfig(n_locations=args.locations,
+                                 n_aps=args.aps,
+                                 pathloss_exponent=args.alpha)
+    measurements = DownlinkTraceGenerator(config).generate(args.seed)
+    write_downlink_measurements(measurements, args.out)
+    print(f"wrote {args.out}: {len(measurements)} locations x "
+          f"{args.aps} APs")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    with args.path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+    if not header_line:
+        print(f"{args.path}: empty file", file=sys.stderr)
+        return 2
+    kind = json.loads(header_line).get("kind")
+    if kind == "upload-trace":
+        trace = read_upload_trace(args.path)
+        sizes = [s.n_clients for s in trace.busy_snapshots(2)]
+        print(f"upload trace '{trace.building}': {len(trace)} snapshots, "
+              f"{trace.duration_s / 86400:.1f} days, APs: "
+              f"{', '.join(trace.ap_names)}")
+        if sizes:
+            print(f"busy snapshots: {len(sizes)} "
+                  f"(clients per AP: min {min(sizes)}, max {max(sizes)})")
+        return 0
+    if kind == "downlink-measurements":
+        measurements = read_downlink_measurements(args.path)
+        n_aps = len(measurements[0].ap_names) if measurements else 0
+        print(f"downlink campaign: {len(measurements)} locations x "
+              f"{n_aps} APs")
+        if measurements:
+            snrs = [snr for m in measurements for snr in m.snr_db.values()]
+            print(f"SNR range: {min(snrs):.1f} .. {max(snrs):.1f} dB")
+        return 0
+    print(f"{args.path}: unknown trace kind {kind!r}", file=sys.stderr)
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "upload":
+        return _cmd_upload(args)
+    if args.command == "downlink":
+        return _cmd_downlink(args)
+    return _cmd_inspect(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

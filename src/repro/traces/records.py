@@ -1,0 +1,101 @@
+"""Trace record types.
+
+These mirror what the paper's measurement pipeline produced:
+association snapshots (which clients were attached to which AP, with
+what RSSI) for the upload study, and per-location link measurements for
+the downlink study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.util.units import dbm_to_watts, watts_to_dbm
+
+
+@dataclass(frozen=True)
+class ClientObservation:
+    """One client as seen by its AP in one snapshot."""
+
+    client: str
+    rssi_dbm: float
+
+    @property
+    def rss_w(self) -> float:
+        """Received power in watts (what the analysis layer consumes)."""
+        return float(dbm_to_watts(self.rssi_dbm))
+
+    @classmethod
+    def from_watts(cls, client: str, rss_w: float) -> "ClientObservation":
+        return cls(client=client, rssi_dbm=float(watts_to_dbm(rss_w)))
+
+
+@dataclass(frozen=True)
+class ApSnapshot:
+    """One AP's association set at one point in time."""
+
+    ap: str
+    timestamp_s: float
+    clients: Tuple[ClientObservation, ...]
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.clients)
+
+    def rss_watts(self) -> List[float]:
+        return [c.rss_w for c in self.clients]
+
+
+@dataclass(frozen=True)
+class UploadTrace:
+    """A full upload trace: snapshots across APs and time."""
+
+    building: str
+    snapshot_interval_s: float
+    snapshots: Tuple[ApSnapshot, ...]
+
+    def __iter__(self) -> Iterator[ApSnapshot]:
+        return iter(self.snapshots)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def duration_s(self) -> float:
+        if not self.snapshots:
+            return 0.0
+        return max(s.timestamp_s for s in self.snapshots)
+
+    @property
+    def ap_names(self) -> List[str]:
+        return sorted({s.ap for s in self.snapshots})
+
+    def busy_snapshots(self, min_clients: int = 2) -> List[ApSnapshot]:
+        """Snapshots with enough backlogged clients to pair."""
+        return [s for s in self.snapshots if s.n_clients >= min_clients]
+
+
+@dataclass(frozen=True)
+class DownlinkMeasurement:
+    """One client location's measurements against every AP.
+
+    ``snr_db`` maps AP name -> clean SNR at the location.
+    ``clean_rate_bps`` maps AP name -> best discrete bitrate at the
+    90 %-success criterion with no interference.
+    ``interfered_rate_bps`` maps (serving AP, interfering AP) -> best
+    discrete bitrate of the *stronger* serving AP while the other AP
+    transmits concurrently (the paper's carrier-sense-off measurement).
+    """
+
+    location: str
+    snr_db: Dict[str, float]
+    clean_rate_bps: Dict[str, float] = field(default_factory=dict)
+    interfered_rate_bps: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def ap_names(self) -> List[str]:
+        return sorted(self.snr_db)
+
+    def strongest_ap(self) -> str:
+        return max(self.snr_db, key=lambda ap: self.snr_db[ap])

@@ -1,0 +1,147 @@
+"""Empirical CDFs and gain-distribution summaries.
+
+Most of the paper's evaluation figures (Figs. 6, 11, 13, 14) are CDFs of
+a *relative gain* metric over a population of topologies.  This module
+provides the CDF machinery those experiments share, plus the summary
+statistics the paper quotes in prose ("over 20 % gain in 40 % of the
+topologies").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical cumulative distribution built from samples.
+
+    The CDF is right-continuous: ``cdf(x)`` is the fraction of samples
+    ``<= x``.  Instances are immutable and cheap to evaluate repeatedly.
+    """
+
+    sorted_samples: np.ndarray = field(repr=False)
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "EmpiricalCdf":
+        arr = np.asarray(list(samples) if not isinstance(samples, np.ndarray) else samples,
+                         dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot build an empirical CDF from zero samples")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("samples must all be finite")
+        return cls(sorted_samples=np.sort(arr))
+
+    def __len__(self) -> int:
+        return int(self.sorted_samples.size)
+
+    def __call__(self, x: float) -> float:
+        """Fraction of samples <= x."""
+        return float(np.searchsorted(self.sorted_samples, x, side="right")) / len(self)
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (0 <= q <= 1) of the sample distribution.
+
+        Uses the inverted-CDF definition (no interpolation), so the
+        result is always an actual sample and ``cdf(quantile(q)) >= q``
+        holds exactly.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.sorted_samples, q,
+                                 method="inverted_cdf"))
+
+    def survival(self, x: float) -> float:
+        """Fraction of samples strictly greater than x (1 - CDF)."""
+        return 1.0 - self(x)
+
+    @property
+    def mean(self) -> float:
+        return float(self.sorted_samples.mean())
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def min(self) -> float:
+        return float(self.sorted_samples[0])
+
+    @property
+    def max(self) -> float:
+        return float(self.sorted_samples[-1])
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, F(x))`` arrays suitable for a step plot."""
+        n = len(self)
+        return self.sorted_samples.copy(), np.arange(1, n + 1, dtype=float) / n
+
+
+def fraction_at_least(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples >= threshold.
+
+    This is the statistic the paper quotes, e.g. "gains over 20 % in 40 %
+    of the topologies" == ``fraction_at_least(gains, 1.20) == 0.40``.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    return float(np.count_nonzero(arr >= threshold)) / arr.size
+
+
+def ascii_cdf(samples: Sequence[float], width: int = 56, height: int = 12,
+              x_min: float = None, x_max: float = None,
+              label: str = "") -> str:
+    """Render an empirical CDF as an ASCII step plot.
+
+    Mirrors the CDF figures of the paper (Figs. 6, 11, 13, 14): x is
+    the gain, y the cumulative fraction.  Used by the benchmark
+    harness so `pytest -s` shows the curve, not just summary numbers.
+    """
+    cdf = EmpiricalCdf.from_samples(samples)
+    lo = cdf.min if x_min is None else x_min
+    hi = cdf.max if x_max is None else x_max
+    if hi <= lo:
+        hi = lo + 1.0
+    rows = []
+    grid = [[" "] * width for _ in range(height)]
+    for col in range(width):
+        x = lo + (hi - lo) * col / (width - 1)
+        y = cdf(x)
+        row = min(height - 1, int(y * (height - 1) + 0.5))
+        grid[height - 1 - row][col] = "*"
+    for r, line in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        rows.append(f"{frac:5.2f} |" + "".join(line))
+    rows.append("      +" + "-" * width)
+    left = f"{lo:.2f}"
+    right = f"{hi:.2f}"
+    pad = width - len(left) - len(right)
+    rows.append("       " + left + " " * max(1, pad) + right)
+    if label:
+        rows.append(f"       ({label})")
+    return "\n".join(rows)
+
+
+def gain_cdf_summary(gains: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a gain distribution (gain = old_time/new_time).
+
+    Returns the fractions the paper's prose cites plus basic moments.
+    A gain of 1.0 means "no improvement"; the paper treats anything within
+    numerical noise of 1.0 as "no gain".
+    """
+    cdf = EmpiricalCdf.from_samples(gains)
+    return {
+        "n": float(len(cdf)),
+        "mean": cdf.mean,
+        "median": cdf.median,
+        "max": cdf.max,
+        "min": cdf.min,
+        "frac_no_gain": cdf(1.0 + 1e-9),
+        "frac_gain_over_10pct": cdf.survival(1.10),
+        "frac_gain_over_20pct": cdf.survival(1.20),
+        "frac_gain_over_50pct": cdf.survival(1.50),
+    }

@@ -1,0 +1,78 @@
+"""Unit conversions between linear power, decibels, and dBm.
+
+All internal computation in this library happens in *linear* units
+(watts for power, Hz for bandwidth, bits/s for rate).  Decibels appear
+only at API boundaries — topology generators accept dBm transmit powers,
+experiment modules plot SNR axes in dB — and these helpers are the single
+place where the conversions live.
+
+The functions accept scalars or numpy arrays and return the same shape;
+scalar inputs come back as Python floats.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def _as_result(value: np.ndarray) -> Union[float, np.ndarray]:
+    """Collapse 0-d numpy results back to Python floats."""
+    if np.ndim(value) == 0:
+        return float(value)
+    return value
+
+
+def db_to_linear(value_db: ArrayLike) -> Union[float, np.ndarray]:
+    """Convert a decibel quantity to its linear ratio.
+
+    >>> db_to_linear(10.0)
+    10.0
+    >>> db_to_linear(0.0)
+    1.0
+    """
+    return _as_result(np.power(10.0, np.asarray(value_db, dtype=float) / 10.0))
+
+
+def linear_to_db(value: ArrayLike) -> Union[float, np.ndarray]:
+    """Convert a linear ratio to decibels.
+
+    Raises :class:`ValueError` for non-positive inputs, which have no dB
+    representation — a silent ``-inf`` here has historically hidden bugs
+    in path-loss code, so we fail loudly instead.
+    """
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError(f"linear value must be positive to convert to dB, got {value!r}")
+    return _as_result(10.0 * np.log10(arr))
+
+
+def dbm_to_watts(value_dbm: ArrayLike) -> Union[float, np.ndarray]:
+    """Convert dBm (dB relative to 1 mW) to watts.
+
+    >>> dbm_to_watts(30.0)
+    1.0
+    >>> dbm_to_watts(0.0)
+    0.001
+    """
+    return _as_result(np.power(10.0, (np.asarray(value_dbm, dtype=float) - 30.0) / 10.0))
+
+
+def watts_to_dbm(value_w: ArrayLike) -> Union[float, np.ndarray]:
+    """Convert watts to dBm.  Raises for non-positive power."""
+    arr = np.asarray(value_w, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError(f"power must be positive to convert to dBm, got {value_w!r}")
+    return _as_result(10.0 * np.log10(arr) + 30.0)
+
+
+def ratio_db(numerator: ArrayLike, denominator: ArrayLike) -> Union[float, np.ndarray]:
+    """dB value of ``numerator / denominator`` — e.g. an SNR from two powers."""
+    num = np.asarray(numerator, dtype=float)
+    den = np.asarray(denominator, dtype=float)
+    if np.any(num <= 0.0) or np.any(den <= 0.0):
+        raise ValueError("both operands of ratio_db must be positive")
+    return _as_result(10.0 * np.log10(num / den))

@@ -1,0 +1,63 @@
+"""Argument-validation helpers.
+
+Every public entry point of the library validates its numeric inputs with
+these helpers so that errors surface at the boundary (with the offending
+parameter named) rather than as NaNs deep inside a Monte-Carlo sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite positive number; raise otherwise."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number >= 0; raise otherwise."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_finite(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number; raise otherwise."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` if it lies inside ``[low, high]`` (or ``(low, high)``)."""
+    value = check_finite(name, value)
+    if inclusive:
+        if low is not None and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if high is not None and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+    else:
+        if low is not None and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+        if high is not None and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Return ``value`` if it is a valid probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)

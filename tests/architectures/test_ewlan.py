@@ -1,0 +1,55 @@
+"""Enterprise-WLAN architecture tests (paper Section 4.1)."""
+
+import pytest
+
+from repro.architectures.ewlan import (
+    evaluate_ewlan_cross_pairs,
+    nearest_ap_capture_fraction,
+)
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.sic.scenarios import PairCase
+
+
+@pytest.fixture(scope="module")
+def report():
+    return evaluate_ewlan_cross_pairs(n_grids=60, seed=11)
+
+
+class TestCrossPairs:
+    def test_nearest_ap_makes_capture_dominate(self, report):
+        # The paper's §4.1 argument: with nearest-AP association,
+        # "each client's signal will be stronger at its respective AP
+        # ... hence SIC is not needed to receive them".
+        assert report.capture_fraction > 0.9
+
+    def test_sic_rarely_feasible(self, report):
+        assert report.sic_feasible_fraction < 0.1
+
+    def test_mean_gain_negligible(self, report):
+        assert report.mean_gain < 1.02
+
+    def test_case_fractions_sum_to_one(self, report):
+        assert sum(report.case_fractions.values()) == pytest.approx(1.0)
+
+    def test_helper_alias(self, report):
+        assert nearest_ap_capture_fraction(report) == \
+            report.capture_fraction
+
+    def test_deterministic(self):
+        a = evaluate_ewlan_cross_pairs(n_grids=10, seed=3)
+        b = evaluate_ewlan_cross_pairs(n_grids=10, seed=3)
+        assert a == b
+
+    def test_shadowing_erodes_capture(self):
+        # With heavy shadowing the nearest AP is no longer always the
+        # loudest, so capture drops below the no-shadowing level.
+        clean = evaluate_ewlan_cross_pairs(n_grids=40, seed=5)
+        shadowed = evaluate_ewlan_cross_pairs(
+            n_grids=40, seed=5,
+            propagation=LogDistancePathLoss(exponent=3.5,
+                                            shadowing_sigma_db=8.0))
+        assert shadowed.capture_fraction < clean.capture_fraction
+
+    def test_rejects_bad_grid_count(self):
+        with pytest.raises(ValueError):
+            evaluate_ewlan_cross_pairs(n_grids=0)

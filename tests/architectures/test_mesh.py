@@ -1,0 +1,71 @@
+"""Mesh-chain architecture tests (paper Section 4.3)."""
+
+import pytest
+
+from repro.architectures.mesh import (
+    analyse_chain,
+    feasibility_frontier,
+    sweep_chain_geometries,
+)
+
+
+class TestAnalyseChain:
+    def test_long_short_long_enables_sic(self, channel):
+        analysis = analyse_chain(channel, long_hop_m=40.0,
+                                 short_hop_m=2.0)
+        assert analysis.sic_feasible
+        assert analysis.gain > 1.0
+
+    def test_equalised_chain_breaks_sic(self, channel):
+        analysis = analyse_chain(channel, long_hop_m=30.0,
+                                 short_hop_m=30.0)
+        assert not analysis.sic_feasible
+        assert analysis.gain == pytest.approx(1.0)
+
+    def test_sic_never_hurts(self, channel):
+        for short in (2.0, 5.0, 10.0, 40.0):
+            analysis = analyse_chain(channel, 40.0, short)
+            assert analysis.throughput_sic_bps >= \
+                analysis.throughput_serial_bps - 1e-9
+
+    def test_bottleneck_is_a_long_hop(self, channel):
+        analysis = analyse_chain(channel, long_hop_m=50.0,
+                                 short_hop_m=2.0)
+        # Long hops run slower than the short one, capping throughput.
+        assert analysis.throughput_sic_bps < analysis.bottleneck_rate_bps
+
+    def test_gain_bounded_by_pipeline_overlap(self, channel):
+        # Overlapping two of three hops cannot triple throughput.
+        analysis = analyse_chain(channel, 40.0, 2.0)
+        assert analysis.gain < 3.0
+
+    def test_rejects_bad_geometry(self, channel):
+        with pytest.raises(ValueError):
+            analyse_chain(channel, 0.0, 5.0)
+
+
+class TestSweep:
+    def test_covers_grid(self, channel):
+        results = sweep_chain_geometries(channel,
+                                         long_hops_m=(20.0, 40.0),
+                                         short_hops_m=(2.0, 10.0))
+        assert len(results) == 4
+
+    def test_feasibility_frontier_monotone(self, channel):
+        # Longer long-hops tolerate longer short-hops before the SIC
+        # condition at C breaks.
+        results = sweep_chain_geometries(
+            channel,
+            long_hops_m=(20.0, 30.0, 40.0, 60.0),
+            short_hops_m=(2.0, 3.0, 5.0, 8.0, 12.0, 20.0))
+        frontier = feasibility_frontier(results)
+        values = [frontier[long_m] for long_m in (20.0, 30.0, 40.0, 60.0)]
+        cleaned = [v for v in values if v is not None]
+        assert cleaned == sorted(cleaned)
+
+    def test_frontier_handles_all_infeasible(self, channel):
+        results = sweep_chain_geometries(channel,
+                                         long_hops_m=(10.0,),
+                                         short_hops_m=(10.0,))
+        frontier = feasibility_frontier(results)
+        assert frontier[10.0] is None

@@ -1,0 +1,73 @@
+"""Residential architecture tests (paper Section 4.2)."""
+
+import pytest
+
+from repro.architectures.residential import (
+    evaluate_residential_rows,
+    residential_downlink_pairs,
+)
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.sic.scenarios import PairCase
+from repro.topology.generators import residential_row
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def report():
+    return evaluate_residential_rows(n_rows=150, seed=11)
+
+
+class TestPairSampling:
+    def test_one_pair_per_adjacent_home(self):
+        rng = make_rng(1)
+        topology = residential_row(4, 10.0, 2, rng=rng)
+        propagation = LogDistancePathLoss(exponent=3.5)
+        pairs = list(residential_downlink_pairs(topology, propagation,
+                                                rng))
+        assert len(pairs) == 3  # 4 homes -> 3 adjacent boundaries
+
+    def test_rss_all_positive(self):
+        rng = make_rng(2)
+        topology = residential_row(3, 8.0, 2, rng=rng)
+        propagation = LogDistancePathLoss(exponent=3.5)
+        for rss in residential_downlink_pairs(topology, propagation, rng):
+            assert min(rss.s11, rss.s12, rss.s21, rss.s22) > 0.0
+
+
+class TestReport:
+    def test_lock_creates_some_opportunities(self, report):
+        # §4.2: "residential wireless LANs offer some opportunities for
+        # SIC" — nonzero but a small minority.
+        assert 0.0 < report.sic_feasible_fraction < 0.3
+
+    def test_non_capture_cases_exist(self, report):
+        non_capture = sum(frac for case, frac
+                          in report.case_fractions.items()
+                          if case is not PairCase.BOTH_CAPTURE)
+        assert non_capture > 0.1
+
+    def test_two_receiver_gains_negligible(self, report):
+        # Even feasible pairs yield ~nothing under ideal rates — the
+        # Fig. 6 conclusion applies to the residential setting too.
+        assert report.gain_summary["frac_gain_over_10pct"] < 0.05
+
+    def test_opportunity_alias(self, report):
+        assert report.opportunity_fraction == \
+            report.sic_feasible_fraction
+
+    def test_deterministic(self):
+        a = evaluate_residential_rows(n_rows=20, seed=9)
+        b = evaluate_residential_rows(n_rows=20, seed=9)
+        assert a == b
+
+    def test_no_shadowing_fewer_opportunities(self):
+        shadowed = evaluate_residential_rows(n_rows=80, seed=13)
+        bare = evaluate_residential_rows(
+            n_rows=80, seed=13,
+            propagation=LogDistancePathLoss(exponent=3.5))
+        assert bare.sic_feasible_fraction <= \
+            shadowed.sic_feasible_fraction + 0.02
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            evaluate_residential_rows(n_rows=0)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.noise import thermal_noise_watts
+from repro.phy.shannon import Channel
+
+
+@pytest.fixture
+def channel() -> Channel:
+    """The canonical 20 MHz / thermal-noise channel used throughout."""
+    return Channel(bandwidth_hz=20e6, noise_w=thermal_noise_watts(20e6))
+
+
+@pytest.fixture
+def unit_channel() -> Channel:
+    """A noise-normalised channel (N0 == 1): RSS values are linear SNRs."""
+    return Channel(bandwidth_hz=1.0, noise_w=1.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def snr_w(channel: Channel, snr_db: float) -> float:
+    """RSS in watts for a given SNR over the channel's noise."""
+    return float(10.0 ** (snr_db / 10.0)) * channel.noise_w

@@ -1,0 +1,69 @@
+"""Smoke tests: every shipped example must run and print its report.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each example is run in-process (``runpy``) with small
+arguments where the script accepts them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv, capsys) -> str:
+    """Execute an example with patched argv; return its stdout."""
+    path = EXAMPLES_DIR / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + [str(a) for a in argv]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    except SystemExit as exc:  # examples may sys.exit(main())
+        assert not exc.code, f"{name} exited with {exc.code}"
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "Channel capacity" in out
+        assert "rides for free" in out
+        assert "schedule:" in out
+
+    def test_wlan_upload_scheduling(self, capsys):
+        out = run_example("wlan_upload_scheduling.py", [6, 3], capsys)
+        assert "blossom (paper Sec. 6)" in out
+        assert "all" in out  # every packet decoded
+
+    def test_residential_neighbors(self, capsys):
+        out = run_example("residential_neighbors.py", [30, 3], capsys)
+        assert "Fig. 5 case mix" in out
+        assert "Enterprise contrast" in out
+
+    def test_mesh_chain(self, capsys):
+        out = run_example("mesh_chain.py", [], capsys)
+        assert "Feasibility frontier" in out
+        assert "pipeline overlap" in out
+
+    def test_ksic_groups(self, capsys):
+        out = run_example("ksic_groups.py", [], capsys)
+        assert "identity holds" in out
+        assert "decoded 4/4 packets" in out
+        assert "decoded 2/4 packets" in out
+
+    def test_backlog_fairness(self, capsys):
+        out = run_example("backlog_fairness.py", [], capsys)
+        assert "Jain fairness index" in out
+        assert "stability margin" in out
+
+    @pytest.mark.slow
+    def test_trace_pipeline(self, capsys, tmp_path):
+        out = run_example("trace_pipeline.py", [tmp_path], capsys)
+        assert "JSONL round trip" in out
+        assert "Fig. 13" in out and "Fig. 14" in out
+        assert (tmp_path / "building_trace.jsonl").exists()

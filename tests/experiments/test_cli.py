@@ -1,0 +1,52 @@
+"""CLI tests for ``python -m repro.experiments``."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        assert set(REGISTRY) == {"fig2", "fig3", "fig4", "fig6", "fig7",
+                                 "fig8", "fig10", "fig11", "fig12",
+                                 "fig13", "fig14"}
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            run_experiment("fig99")
+
+    def test_run_experiment_renders_rows(self):
+        rows = run_experiment("fig4", n_points=21)
+        assert rows[0].startswith("== fig4")
+        assert len(rows) > 3
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "fig13" in out
+
+    def test_single_figure_quick(self, capsys):
+        assert main(["fig10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out
+
+    def test_grid_figure_quick(self, capsys):
+        assert main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3-capacity-gain" in out
+
+    def test_monte_carlo_figure_with_samples(self, capsys):
+        assert main(["fig6", "--quick", "--samples", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "range=" in out
+
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_claims_quick(self, capsys):
+        assert main(["claims", "--quick", "--samples", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "C3_two_receiver_frac_no_gain" in out

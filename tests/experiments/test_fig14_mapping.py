@@ -1,0 +1,84 @@
+"""Fig. 14 scenario-construction tests.
+
+The mapping from two measurement records to the `PairRss` /
+`DiscretePairRates` inputs is subtle (which AP serves which location,
+which interfered key feeds which feasibility check); these tests pin it
+with a hand-built campaign.
+"""
+
+import pytest
+
+from repro.experiments.fig14 import (
+    _scenario_discrete_rates,
+    _scenario_rss,
+)
+from repro.traces.records import DownlinkMeasurement
+from repro.util.units import db_to_linear
+
+
+def mbps(x):
+    return x * 1e6
+
+
+@pytest.fixture
+def loc1():
+    return DownlinkMeasurement(
+        location="L1",
+        snr_db={"AP1": 30.0, "AP2": 20.0},
+        clean_rate_bps={"AP1": mbps(54), "AP2": mbps(36)},
+        interfered_rate_bps={("AP1", "AP2"): mbps(12),
+                             ("AP2", "AP1"): mbps(6)},
+    )
+
+
+@pytest.fixture
+def loc2():
+    return DownlinkMeasurement(
+        location="L2",
+        snr_db={"AP1": 25.0, "AP2": 15.0},
+        clean_rate_bps={"AP1": mbps(48), "AP2": mbps(24)},
+        interfered_rate_bps={("AP1", "AP2"): mbps(18),
+                             ("AP2", "AP1"): mbps(9)},
+    )
+
+
+class TestScenarioRss:
+    def test_receiver_indexing(self, loc1, loc2):
+        # R1 = loc1 served by AP1 (T1); R2 = loc2 served by AP2 (T2).
+        rss = _scenario_rss(loc1, loc2, "AP1", "AP2")
+        assert rss.s11 == pytest.approx(float(db_to_linear(30.0)))
+        assert rss.s12 == pytest.approx(float(db_to_linear(20.0)))
+        assert rss.s21 == pytest.approx(float(db_to_linear(25.0)))
+        assert rss.s22 == pytest.approx(float(db_to_linear(15.0)))
+
+    def test_swapping_aps_swaps_roles(self, loc1, loc2):
+        forward = _scenario_rss(loc1, loc2, "AP1", "AP2")
+        swapped = _scenario_rss(loc1, loc2, "AP2", "AP1")
+        assert swapped.s11 == pytest.approx(forward.s12)
+        assert swapped.s12 == pytest.approx(forward.s11)
+
+
+class TestScenarioDiscreteRates:
+    def test_clean_rates_from_serving_aps(self, loc1, loc2):
+        rates = _scenario_discrete_rates(loc1, loc2, "AP1", "AP2")
+        assert rates.clean_1 == mbps(54)    # AP1 at loc1
+        assert rates.clean_2 == mbps(24)    # AP2 at loc2
+
+    def test_interfered_key_orientation(self, loc1, loc2):
+        rates = _scenario_discrete_rates(loc1, loc2, "AP1", "AP2")
+        # interfered_11: AP1's signal at loc1 while AP2 transmits.
+        assert rates.interfered_11 == mbps(12)
+        # interfered_21: AP1's signal decodable at loc2 under AP2.
+        assert rates.interfered_21 == mbps(18)
+        # interfered_22: AP2's signal at loc2 while AP1 transmits.
+        assert rates.interfered_22 == mbps(9)
+        # interfered_12: AP2's signal decodable at loc1 under AP1.
+        assert rates.interfered_12 == mbps(6)
+
+    def test_swapped_scenario_mirrors(self, loc1, loc2):
+        forward = _scenario_discrete_rates(loc1, loc2, "AP1", "AP2")
+        mirrored = _scenario_discrete_rates(loc2, loc1, "AP2", "AP1")
+        assert mirrored.clean_1 == forward.clean_2
+        assert mirrored.clean_2 == forward.clean_1
+        assert mirrored.interfered_11 == forward.interfered_22
+        assert mirrored.interfered_21 == forward.interfered_12

@@ -1,0 +1,74 @@
+"""JSON-export tests for the experiments CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.registry import jsonify
+
+
+class TestJsonify:
+    def test_scalars_pass_through(self):
+        assert jsonify(3) == 3
+        assert jsonify(2.5) == 2.5
+        assert jsonify("x") == "x"
+        assert jsonify(None) is None
+        assert jsonify(True) is True
+
+    def test_numpy_types(self):
+        assert jsonify(np.float64(1.5)) == 1.5
+        assert jsonify(np.int64(4)) == 4
+        assert jsonify(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_tuple_keys_encoded(self):
+        out = jsonify({("AP1", "AP2"): 1.0})
+        assert out == {"AP1|AP2": 1.0}
+
+    def test_enum_values(self):
+        from repro.sic.scenarios import PairCase
+        assert jsonify(PairCase.SIC_AT_R2) == "b"
+        assert jsonify({PairCase.SIC_AT_R2: 0.5}) == {"b": 0.5}
+
+    def test_dataclasses_expanded(self):
+        from repro.architectures.mesh import ChainAnalysis
+        analysis = ChainAnalysis(long_hop_m=40.0, short_hop_m=2.0,
+                                 sic_feasible=True,
+                                 throughput_serial_bps=1e6,
+                                 throughput_sic_bps=1.5e6,
+                                 bottleneck_rate_bps=2e6)
+        out = jsonify(analysis)
+        assert out["sic_feasible"] is True
+        assert out["long_hop_m"] == 40.0
+
+    def test_nested_containers(self):
+        out = jsonify({"a": [np.array([1.0]), (2, 3)]})
+        assert out == {"a": [[1.0], [2, 3]]}
+
+    def test_round_trips_through_json(self):
+        from repro.experiments import fig6
+        result = fig6.compute(ranges_m=(20.0,), n_samples=50, seed=1)
+        payload = json.dumps(jsonify(result))
+        assert json.loads(payload)["range=20m"]["summary"]["n"] == 50.0
+
+
+class TestCliJsonFlag:
+    def test_single_figure_dump(self, tmp_path, capsys):
+        out = tmp_path / "fig10.json"
+        assert main(["fig10", "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["figure"] == "fig10"
+        assert data["data"]["serial_units"] == pytest.approx(15.0)
+
+    def test_all_with_json_rejected(self, tmp_path, capsys):
+        out = tmp_path / "all.json"
+        assert main(["all", "--quick", "--json", str(out)]) == 2
+        assert not out.exists()
+
+    def test_json_and_stdout_both_produced(self, tmp_path, capsys):
+        out = tmp_path / "fig3.json"
+        assert main(["fig3", "--quick", "--json", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "json written" in stdout
+        assert "fig3-capacity-gain" in stdout

@@ -1,0 +1,90 @@
+"""Monte-Carlo engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.montecarlo import (
+    MonteCarloConfig,
+    one_receiver_technique_gains,
+    two_receiver_gains,
+    two_receiver_technique_gains,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MonteCarloConfig(n_samples=300)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = MonteCarloConfig()
+        assert config.n_samples == 10_000
+        assert config.pathloss_exponent == 4.0
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            MonteCarloConfig(n_samples=0)
+
+    def test_channel_uses_thermal_noise(self, config):
+        channel = config.channel()
+        assert channel.bandwidth_hz == config.bandwidth_hz
+        assert 0.0 < channel.noise_w < 1e-11
+
+
+class TestTwoReceiverGains:
+    def test_sample_count(self, config):
+        gains = two_receiver_gains(config, seed=1)
+        assert gains.shape == (300,)
+
+    def test_deterministic(self, config):
+        assert np.array_equal(two_receiver_gains(config, seed=1),
+                              two_receiver_gains(config, seed=1))
+
+    def test_bounds(self, config):
+        gains = two_receiver_gains(config, seed=2)
+        assert np.all(gains >= 1.0)
+        assert np.all(gains <= 2.0 + 1e-9)
+
+
+class TestOneReceiverTechniques:
+    @pytest.fixture(scope="class")
+    def gains(self):
+        return one_receiver_technique_gains(
+            MonteCarloConfig(n_samples=300), seed=3)
+
+    def test_all_techniques_present(self, gains):
+        assert set(gains) == {"sic", "power_control", "multirate",
+                              "packing"}
+
+    def test_power_control_dominates_sic(self, gains):
+        assert np.all(gains["power_control"] >= gains["sic"] - 1e-9)
+
+    def test_multirate_dominates_sic(self, gains):
+        assert np.all(gains["multirate"] >= gains["sic"] - 1e-9)
+
+    def test_all_gains_at_least_one(self, gains):
+        for values in gains.values():
+            assert np.all(values >= 1.0)
+
+    def test_pc_and_mr_bounded_by_two(self, gains):
+        # One packet gets at most a full free ride for these two.
+        for technique in ("sic", "power_control", "multirate"):
+            assert np.all(gains[technique] <= 2.0 + 1e-9)
+
+
+class TestTwoReceiverTechniques:
+    @pytest.fixture(scope="class")
+    def gains(self):
+        return two_receiver_technique_gains(
+            MonteCarloConfig(n_samples=300), seed=4)
+
+    def test_keys(self, gains):
+        assert set(gains) == {"sic", "packing"}
+
+    def test_packing_dominates_sic(self, gains):
+        assert np.all(gains["packing"] >= gains["sic"] - 1e-9)
+
+    def test_gains_at_least_one(self, gains):
+        for values in gains.values():
+            assert np.all(values >= 1.0)

@@ -1,0 +1,32 @@
+"""Markdown-report CLI tests."""
+
+from repro.experiments.__main__ import main
+
+
+class TestReportFlag:
+    def test_single_figure_report(self, tmp_path, capsys):
+        out = tmp_path / "fig10.md"
+        assert main(["fig10", "--report", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# SIC reproduction")
+        assert "## fig10" in text
+        assert "serial (no SIC)" in text
+        assert "report written" in capsys.readouterr().out
+
+    def test_quick_mode_noted(self, tmp_path, capsys):
+        out = tmp_path / "fig3.md"
+        assert main(["fig3", "--quick", "--report", str(out)]) == 0
+        assert "quick run" in out.read_text()
+
+    def test_all_quick_report_has_every_figure(self, tmp_path, capsys):
+        out = tmp_path / "all.md"
+        assert main(["all", "--quick", "--samples", "100",
+                     "--report", str(out)]) == 0
+        text = out.read_text()
+        for figure in ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+                       "fig10", "fig11", "fig12", "fig13", "fig14"):
+            assert f"## {figure}" in text
+
+    def test_no_report_without_flag(self, tmp_path, capsys):
+        assert main(["fig10"]) == 0
+        assert "report written" not in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""End-to-end integration tests across module boundaries.
+
+These tests wire whole pipelines together: topology -> propagation ->
+scheduler -> event simulator, and trace generation -> JSONL -> figure
+evaluation — the paths a downstream user of the library actually runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig13, fig14
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.phy.shannon import Channel
+from repro.phy.noise import thermal_noise_watts
+from repro.scheduling.baselines import greedy_schedule, serial_schedule
+from repro.scheduling.scheduler import SicScheduler, UploadClient
+from repro.sim.wlan import UplinkSimulator
+from repro.techniques.pairing import TechniqueSet
+from repro.topology.generators import random_uplink_clients
+from repro.topology.nodes import DEFAULT_TX_POWER_W
+from repro.traces.downlink import DownlinkTraceConfig, DownlinkTraceGenerator
+from repro.traces.io import (
+    read_downlink_measurements,
+    read_upload_trace,
+    write_downlink_measurements,
+    write_upload_trace,
+)
+from repro.traces.synthetic import UploadTraceConfig, UploadTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return Channel(bandwidth_hz=20e6, noise_w=thermal_noise_watts(20e6))
+
+
+class TestTopologyToSimulator:
+    """Place clients physically, schedule them, execute the schedule."""
+
+    def test_full_uplink_pipeline(self, channel):
+        topo = random_uplink_clients(9, cell_radius_m=35.0, rng=17)
+        model = LogDistancePathLoss(exponent=3.5)
+        clients = [
+            UploadClient(c.name, float(model.received_power(
+                DEFAULT_TX_POWER_W, c.distance_to(topo.ap))))
+            for c in topo.clients
+        ]
+        scheduler = SicScheduler(channel=channel,
+                                 techniques=TechniqueSet.ALL)
+        schedule = scheduler.schedule(clients)
+        metrics = UplinkSimulator(channel=channel).run(schedule, clients)
+
+        assert metrics.all_decoded
+        assert metrics.completion_time_s == pytest.approx(
+            schedule.total_time_s, rel=1e-9)
+        assert schedule.gain >= 1.0
+        # Throughput must be at least the serial baseline's.
+        serial = serial_schedule(scheduler, clients)
+        serial_metrics = UplinkSimulator(channel=channel).run(serial,
+                                                              clients)
+        assert metrics.throughput_bps >= serial_metrics.throughput_bps - 1e-6
+
+    def test_policy_stack_consistency(self, channel):
+        topo = random_uplink_clients(8, cell_radius_m=30.0, rng=23)
+        model = LogDistancePathLoss(exponent=4.0)
+        clients = [
+            UploadClient(c.name, float(model.received_power(
+                DEFAULT_TX_POWER_W, c.distance_to(topo.ap))))
+            for c in topo.clients
+        ]
+        scheduler = SicScheduler(channel=channel,
+                                 techniques=TechniqueSet.ALL)
+        sim = UplinkSimulator(channel=channel)
+        times = {}
+        for name, schedule in (
+                ("blossom", scheduler.schedule(clients)),
+                ("greedy", greedy_schedule(scheduler, clients)),
+                ("serial", serial_schedule(scheduler, clients))):
+            metrics = sim.run(schedule, clients)
+            assert metrics.all_decoded
+            times[name] = metrics.completion_time_s
+        assert times["blossom"] <= times["greedy"] + 1e-12
+        assert times["greedy"] <= times["serial"] + 1e-12
+
+
+class TestTraceFilePipelines:
+    """Figures must produce identical results from in-memory and
+    on-disk traces."""
+
+    def test_fig13_from_file(self, tmp_path):
+        config = UploadTraceConfig(duration_days=0.5)
+        trace = UploadTraceGenerator(config).generate(seed=31)
+        path = tmp_path / "building.jsonl"
+        write_upload_trace(trace, path)
+        reloaded = read_upload_trace(path)
+
+        direct = fig13.compute(trace=trace, max_snapshots=30)
+        from_file = fig13.compute(trace=reloaded, max_snapshots=30)
+        for label in ("pairing", "pairing+power_control"):
+            assert np.array_equal(direct[label]["gains"],
+                                  from_file[label]["gains"])
+
+    def test_fig14_from_file(self, tmp_path):
+        config = DownlinkTraceConfig(n_locations=20)
+        campaign = DownlinkTraceGenerator(config).generate(seed=37)
+        path = tmp_path / "campaign.jsonl"
+        write_downlink_measurements(campaign, path)
+        reloaded = read_downlink_measurements(path)
+
+        direct = fig14.compute(measurements=campaign, n_scenarios=150,
+                               seed=5)
+        from_file = fig14.compute(measurements=reloaded, n_scenarios=150,
+                                  seed=5)
+        for label in ("arbitrary", "discrete+packing"):
+            assert np.array_equal(direct[label]["gains"],
+                                  from_file[label]["gains"])
+
+
+class TestSchedulerOnTraceSnapshots:
+    def test_every_busy_snapshot_schedulable(self, channel):
+        config = UploadTraceConfig(duration_days=0.5)
+        trace = UploadTraceGenerator(config).generate(seed=41)
+        scheduler = SicScheduler(channel=channel,
+                                 techniques=TechniqueSet.ALL)
+        sim = UplinkSimulator(channel=channel)
+        checked = 0
+        for snapshot in trace.busy_snapshots(2)[:25]:
+            clients = [UploadClient(obs.client, obs.rss_w)
+                       for obs in snapshot.clients]
+            schedule = scheduler.schedule(clients)
+            metrics = sim.run(schedule, clients)
+            assert metrics.all_decoded
+            assert schedule.gain >= 1.0
+            checked += 1
+        assert checked == 25

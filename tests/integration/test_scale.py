@@ -1,0 +1,97 @@
+"""Scale and robustness tests: realistic WLAN sizes, extreme inputs."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.phy.shannon import Channel
+from repro.scheduling.groups import greedy_group_schedule
+from repro.scheduling.matching import min_weight_perfect_matching
+from repro.scheduling.scheduler import SicScheduler, UploadClient
+from repro.sim.wlan import UplinkSimulator
+from repro.techniques.pairing import TechniqueSet
+
+
+class TestSchedulerScale:
+    def test_eighty_clients_schedule_and_simulate(self, channel, rng):
+        clients = [UploadClient(f"C{i}", 10 ** float(x))
+                   for i, x in enumerate(rng.uniform(-12.5, -8, size=80))]
+        scheduler = SicScheduler(channel=channel,
+                                 techniques=TechniqueSet.ALL)
+        start = time.perf_counter()
+        schedule = scheduler.schedule(clients)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0, f"scheduling 80 clients took {elapsed:.1f}s"
+        assert sorted(schedule.client_names) == sorted(
+            c.name for c in clients)
+        metrics = UplinkSimulator(channel=channel).run(schedule, clients)
+        assert metrics.all_decoded
+        assert metrics.completion_time_s == pytest.approx(
+            schedule.total_time_s, rel=1e-9)
+
+    def test_group_scheduler_scale(self, channel, rng):
+        clients = [UploadClient(f"C{i}", 10 ** float(x))
+                   for i, x in enumerate(rng.uniform(-12.5, -8, size=60))]
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=3)
+        names = [n for slot in schedule.slots for n in slot.clients]
+        assert sorted(names) == sorted(c.name for c in clients)
+
+    def test_matching_scale(self, rng):
+        import itertools
+        n = 100
+        costs = {(i, j): float(rng.uniform(0.1, 10.0))
+                 for i, j in itertools.combinations(range(n), 2)}
+        start = time.perf_counter()
+        matching = min_weight_perfect_matching(costs, n)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0, f"matching n=100 took {elapsed:.1f}s"
+        assert len(matching) == 50
+
+
+class TestExtremeInputs:
+    def test_huge_rss_disparity(self, channel):
+        # 1 W vs thermal-floor-level signals in one schedule.
+        clients = [UploadClient("loud", 1.0),
+                   UploadClient("faint", channel.noise_w * 1.01),
+                   UploadClient("mid", 1e-9)]
+        scheduler = SicScheduler(channel=channel,
+                                 techniques=TechniqueSet.ALL)
+        schedule = scheduler.schedule(clients)
+        assert schedule.total_time_s > 0.0
+        metrics = UplinkSimulator(channel=channel).run(schedule, clients)
+        assert metrics.all_decoded
+
+    def test_identical_rss_clients(self, channel):
+        clients = [UploadClient(f"C{i}", 1e-9) for i in range(6)]
+        scheduler = SicScheduler(channel=channel,
+                                 techniques=TechniqueSet.ALL)
+        schedule = scheduler.schedule(clients)
+        metrics = UplinkSimulator(channel=channel).run(schedule, clients)
+        assert metrics.all_decoded
+        assert schedule.gain >= 1.0 - 1e-12
+
+    def test_tiny_packets(self, channel):
+        scheduler = SicScheduler(channel=channel, packet_bits=8.0,
+                                 techniques=TechniqueSet.ALL)
+        clients = [UploadClient("a", 1e-9), UploadClient("b", 1e-11)]
+        schedule = scheduler.schedule(clients)
+        sim = UplinkSimulator(channel=channel, packet_bits=8.0)
+        assert sim.run(schedule, clients).all_decoded
+
+    def test_jumbo_packets(self, channel):
+        scheduler = SicScheduler(channel=channel, packet_bits=1e7,
+                                 techniques=TechniqueSet.ALL)
+        clients = [UploadClient("a", 1e-9), UploadClient("b", 1e-11)]
+        schedule = scheduler.schedule(clients)
+        assert np.isfinite(schedule.total_time_s)
+
+    def test_narrowband_channel(self):
+        narrow = Channel(bandwidth_hz=1e3, noise_w=1e-17)
+        scheduler = SicScheduler(channel=narrow,
+                                 techniques=TechniqueSet.ALL)
+        clients = [UploadClient("a", 1e-12), UploadClient("b", 1e-14)]
+        schedule = scheduler.schedule(clients)
+        sim = UplinkSimulator(channel=narrow)
+        assert sim.run(schedule, clients).all_decoded

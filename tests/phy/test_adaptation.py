@@ -1,0 +1,167 @@
+"""ARF rate-adaptation tests."""
+
+import numpy as np
+import pytest
+
+from repro.phy.adaptation import (
+    AdaptationTrace,
+    ArfRateAdapter,
+    adaptation_slack_sic_gain,
+    run_adaptation,
+)
+from repro.phy.fading import BlockFadingLink
+from repro.phy.rates import DOT11B, DOT11G
+from repro.util.units import db_to_linear
+
+
+class TestArfStateMachine:
+    def test_starts_at_lowest_rate(self):
+        adapter = ArfRateAdapter()
+        assert adapter.current_rate_bps == DOT11G.steps[0].rate_bps
+
+    def test_steps_up_after_successes(self):
+        adapter = ArfRateAdapter(success_threshold=3)
+        for _ in range(3):
+            adapter.record(True)
+        assert adapter.current_rate_bps == DOT11G.steps[1].rate_bps
+
+    def test_steps_down_after_failures(self):
+        adapter = ArfRateAdapter(success_threshold=1,
+                                 failure_threshold=2)
+        adapter.record(True)   # step up to index 1
+        adapter.record(False)
+        adapter.record(False)
+        assert adapter.current_rate_bps == DOT11G.steps[0].rate_bps
+
+    def test_failure_resets_success_streak(self):
+        adapter = ArfRateAdapter(success_threshold=3)
+        adapter.record(True)
+        adapter.record(True)
+        adapter.record(False)
+        adapter.record(True)
+        adapter.record(True)
+        assert adapter.current_rate_bps == DOT11G.steps[0].rate_bps
+
+    def test_clamped_at_top(self):
+        adapter = ArfRateAdapter(success_threshold=1)
+        for _ in range(100):
+            adapter.record(True)
+        assert adapter.current_rate_bps == DOT11G.max_rate_bps
+
+    def test_clamped_at_bottom(self):
+        adapter = ArfRateAdapter(failure_threshold=1)
+        for _ in range(10):
+            adapter.record(False)
+        assert adapter.current_rate_bps == DOT11G.steps[0].rate_bps
+
+    def test_reset(self):
+        adapter = ArfRateAdapter(success_threshold=1)
+        adapter.record(True)
+        adapter.reset()
+        assert adapter.current_rate_bps == DOT11G.steps[0].rate_bps
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            ArfRateAdapter(success_threshold=0)
+
+    def test_other_table(self):
+        adapter = ArfRateAdapter(table=DOT11B, success_threshold=1)
+        for _ in range(10):
+            adapter.record(True)
+        assert adapter.current_rate_bps == DOT11B.max_rate_bps
+
+
+class TestRunAdaptation:
+    def make_trace(self, mean_snr_db=25.0, n=2000, seed=7, **arf_kwargs):
+        link = BlockFadingLink(float(db_to_linear(mean_snr_db)))
+        sinrs = link.sinr_series(n, rng=seed)
+        adapter = ArfRateAdapter(**arf_kwargs)
+        return run_adaptation(adapter, sinrs, rng=seed + 1)
+
+    def test_trace_shapes(self):
+        trace = self.make_trace(n=500)
+        assert trace.n_packets == 500
+        assert trace.chosen_rate_bps.shape == trace.success.shape
+
+    def test_good_channel_delivers(self):
+        trace = self.make_trace(mean_snr_db=35.0)
+        assert trace.delivery_ratio > 0.7
+
+    def test_dead_channel_fails(self):
+        link = BlockFadingLink(float(db_to_linear(-10.0)))
+        sinrs = link.sinr_series(300, rng=1)
+        trace = run_adaptation(ArfRateAdapter(), sinrs, rng=2)
+        assert trace.delivery_ratio < 0.2
+
+    def test_slack_exists_under_fading(self):
+        # The paper's premise: practical adaptation leaves slack.
+        trace = self.make_trace(mean_snr_db=25.0)
+        assert trace.mean_slack_fraction > 0.05
+
+    def test_faster_adaptation_less_slack(self):
+        slow = self.make_trace(success_threshold=10, failure_threshold=2)
+        fast = self.make_trace(success_threshold=2, failure_threshold=1)
+        assert fast.mean_slack_fraction < slow.mean_slack_fraction
+
+    def test_milder_fading_less_slack(self):
+        snr = float(db_to_linear(25.0))
+        rayleigh = BlockFadingLink(snr)
+        rician = BlockFadingLink(snr, k_factor=20.0)
+        trace_hard = run_adaptation(ArfRateAdapter(),
+                                    rayleigh.sinr_series(2000, rng=3),
+                                    rng=4)
+        trace_easy = run_adaptation(ArfRateAdapter(),
+                                    rician.sinr_series(2000, rng=3),
+                                    rng=4)
+        assert trace_easy.mean_slack_fraction < \
+            trace_hard.mean_slack_fraction
+
+    def test_overshoot_bounded(self):
+        trace = self.make_trace()
+        assert 0.0 <= trace.overshoot_fraction <= 1.0
+
+
+class TestSlackSicGain:
+    def make_pair(self, seed=11, **arf_kwargs):
+        strong_snr = float(db_to_linear(30.0))
+        weak_snr = float(db_to_linear(15.0))
+        strong = run_adaptation(
+            ArfRateAdapter(**arf_kwargs),
+            BlockFadingLink(strong_snr).sinr_series(1500, rng=seed),
+            rng=seed + 1)
+        weak = run_adaptation(
+            ArfRateAdapter(**arf_kwargs),
+            BlockFadingLink(weak_snr).sinr_series(1500, rng=seed + 2),
+            rng=seed + 3)
+        return strong, weak, strong_snr, weak_snr
+
+    def test_gain_at_least_one(self):
+        strong, weak, s, w = self.make_pair()
+        gain = adaptation_slack_sic_gain(strong, weak, s, w)
+        assert gain >= 1.0
+
+    def test_slack_produces_some_gain(self):
+        # With ARF-chosen (conservative) rates, interference sometimes
+        # fits inside the slack and concurrency pays.
+        strong, weak, s, w = self.make_pair()
+        gain = adaptation_slack_sic_gain(strong, weak, s, w)
+        assert gain > 1.01
+
+    def test_better_adaptation_shrinks_sic_gain(self):
+        # The paper's central thesis: "this slack is fast disappearing
+        # with ... the recent advances in bitrate adaptation".  A
+        # slower (classic) ARF leaves more slack for SIC than a fast
+        # modern one.
+        slow = self.make_pair(seed=21, success_threshold=10,
+                              failure_threshold=2)
+        fast = self.make_pair(seed=21, success_threshold=2,
+                              failure_threshold=1)
+        slow_gain = adaptation_slack_sic_gain(*slow)
+        fast_gain = adaptation_slack_sic_gain(*fast)
+        assert slow_gain >= fast_gain - 0.01
+
+    def test_empty_traces(self):
+        empty = AdaptationTrace(chosen_rate_bps=np.array([]),
+                                feasible_rate_bps=np.array([]),
+                                success=np.array([], dtype=bool))
+        assert adaptation_slack_sic_gain(empty, empty, 10.0, 3.0) == 1.0

@@ -1,0 +1,78 @@
+"""Block-fading channel tests."""
+
+import numpy as np
+import pytest
+
+from repro.phy.fading import (
+    BlockFadingLink,
+    rayleigh_power_series,
+    rician_power_series,
+)
+
+
+class TestRayleigh:
+    def test_mean_converges(self):
+        series = rayleigh_power_series(2.0, 50_000, rng=1)
+        assert np.mean(series) == pytest.approx(2.0, rel=0.05)
+
+    def test_all_positive(self):
+        series = rayleigh_power_series(1.0, 1000, rng=2)
+        assert np.all(series > 0.0)
+
+    def test_deterministic_with_seed(self):
+        a = rayleigh_power_series(1.0, 10, rng=3)
+        b = rayleigh_power_series(1.0, 10, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_zero_blocks(self):
+        assert rayleigh_power_series(1.0, 0, rng=1).size == 0
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            rayleigh_power_series(0.0, 10)
+
+    def test_rejects_negative_blocks(self):
+        with pytest.raises(ValueError):
+            rayleigh_power_series(1.0, -1)
+
+    def test_exponential_shape(self):
+        # Median of an exponential is mean * ln 2.
+        series = rayleigh_power_series(1.0, 50_000, rng=4)
+        assert np.median(series) == pytest.approx(np.log(2.0), rel=0.05)
+
+
+class TestRician:
+    def test_mean_converges(self):
+        series = rician_power_series(3.0, k_factor=5.0, n_blocks=50_000,
+                                     rng=1)
+        assert np.mean(series) == pytest.approx(3.0, rel=0.05)
+
+    def test_k_zero_is_rayleigh_like(self):
+        series = rician_power_series(1.0, 0.0, 50_000, rng=2)
+        # Exponential distribution: variance == mean^2.
+        assert np.var(series) == pytest.approx(1.0, rel=0.1)
+
+    def test_large_k_is_nearly_static(self):
+        series = rician_power_series(1.0, 100.0, 20_000, rng=3)
+        assert np.std(series) < 0.3
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            rician_power_series(1.0, -0.1, 10)
+
+
+class TestBlockFadingLink:
+    def test_rayleigh_default(self):
+        link = BlockFadingLink(mean_sinr_linear=10.0)
+        series = link.sinr_series(30_000, rng=5)
+        assert np.mean(series) == pytest.approx(10.0, rel=0.05)
+
+    def test_rician_variant(self):
+        link = BlockFadingLink(mean_sinr_linear=10.0, k_factor=10.0)
+        rayleigh = BlockFadingLink(mean_sinr_linear=10.0)
+        assert np.std(link.sinr_series(20_000, rng=6)) < \
+            np.std(rayleigh.sinr_series(20_000, rng=6))
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            BlockFadingLink(mean_sinr_linear=0.0)

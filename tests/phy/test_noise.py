@@ -1,0 +1,40 @@
+"""Thermal-noise tests."""
+
+import math
+
+import pytest
+
+from repro.phy.noise import (
+    BOLTZMANN_J_PER_K,
+    REFERENCE_TEMPERATURE_K,
+    thermal_noise_watts,
+)
+from repro.util.units import watts_to_dbm
+
+
+class TestThermalNoise:
+    def test_ktb_at_zero_noise_figure(self):
+        n = thermal_noise_watts(1.0, noise_figure_db=0.0)
+        assert n == pytest.approx(BOLTZMANN_J_PER_K * REFERENCE_TEMPERATURE_K)
+
+    def test_20mhz_floor_near_minus_101_dbm(self):
+        # -174 dBm/Hz + 10log10(20e6) ~ -101 dBm, plus 7 dB NF ~ -94 dBm.
+        n_dbm = watts_to_dbm(thermal_noise_watts(20e6))
+        assert -97.0 < n_dbm < -92.0
+
+    def test_scales_linearly_with_bandwidth(self):
+        assert thermal_noise_watts(40e6) == pytest.approx(
+            2.0 * thermal_noise_watts(20e6))
+
+    def test_noise_figure_multiplies(self):
+        base = thermal_noise_watts(1e6, noise_figure_db=0.0)
+        assert thermal_noise_watts(1e6, noise_figure_db=3.0103) == \
+            pytest.approx(2.0 * base, rel=1e-4)
+
+    def test_rejects_negative_noise_figure(self):
+        with pytest.raises(ValueError):
+            thermal_noise_watts(1e6, noise_figure_db=-1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            thermal_noise_watts(0.0)

@@ -1,0 +1,112 @@
+"""Propagation-model tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.pathloss import (
+    FreeSpace,
+    LogDistancePathLoss,
+    free_space_path_gain,
+    received_power,
+)
+
+
+class TestFreeSpaceGain:
+    def test_decays_with_square(self):
+        assert free_space_path_gain(20.0) == pytest.approx(
+            free_space_path_gain(10.0) / 4.0)
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ValueError):
+            free_space_path_gain(0.0)
+
+    def test_gain_below_unity_beyond_wavelength(self):
+        assert free_space_path_gain(1.0) < 1.0
+
+    def test_frequency_dependence(self):
+        # Higher frequency, shorter wavelength, more loss.
+        assert (free_space_path_gain(10.0, frequency_hz=5.8e9)
+                < free_space_path_gain(10.0, frequency_hz=2.4e9))
+
+
+class TestLogDistance:
+    def test_alpha4_decay(self):
+        model = LogDistancePathLoss(exponent=4.0)
+        assert model.path_gain(20.0) == pytest.approx(
+            model.path_gain(10.0) / 16.0)
+
+    def test_matches_free_space_at_reference(self):
+        model = LogDistancePathLoss(exponent=4.0, reference_distance_m=1.0)
+        assert model.path_gain(1.0) == pytest.approx(free_space_path_gain(1.0))
+
+    def test_free_space_inside_reference(self):
+        model = LogDistancePathLoss(exponent=4.0, reference_distance_m=10.0)
+        assert model.path_gain(5.0) == pytest.approx(free_space_path_gain(5.0))
+
+    def test_received_power_scales_with_tx_power(self):
+        model = LogDistancePathLoss()
+        assert model.received_power(0.2, 10.0) == pytest.approx(
+            2.0 * model.received_power(0.1, 10.0))
+
+    def test_shadowing_requires_rng(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0)
+        with pytest.raises(ValueError, match="rng"):
+            model.received_power(0.1, 10.0)
+
+    def test_shadowing_is_random_but_seeded(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0)
+        a = model.received_power(0.1, 10.0, np.random.default_rng(1))
+        b = model.received_power(0.1, 10.0, np.random.default_rng(1))
+        c = model.received_power(0.1, 10.0, np.random.default_rng(2))
+        assert a == b
+        assert a != c
+
+    def test_shadowing_unbiased_in_db(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0)
+        rng = np.random.default_rng(0)
+        samples = model.received_power(0.1, np.full(4000, 10.0), rng)
+        mean_db = np.mean(10 * np.log10(samples))
+        expected_db = 10 * math.log10(
+            0.1 * LogDistancePathLoss().path_gain(10.0))
+        assert abs(mean_db - expected_db) < 0.3
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().path_gain(0.0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1000.0),
+           st.floats(min_value=1.0, max_value=1000.0))
+    def test_monotone_decay(self, d1, d2):
+        model = LogDistancePathLoss()
+        near, far = min(d1, d2), max(d1, d2)
+        assert model.path_gain(far) <= model.path_gain(near)
+
+    def test_array_input(self):
+        model = LogDistancePathLoss()
+        gains = model.path_gain(np.array([1.0, 10.0, 100.0]))
+        assert gains.shape == (3,)
+        assert gains[0] > gains[1] > gains[2]
+
+
+class TestReceivedPowerHelper:
+    def test_default_model_is_alpha4(self):
+        direct = LogDistancePathLoss().received_power(0.1, 25.0)
+        assert received_power(0.1, 25.0) == pytest.approx(direct)
+
+    def test_free_space_model(self):
+        p = received_power(0.1, 25.0, model=FreeSpace())
+        assert p == pytest.approx(0.1 * free_space_path_gain(25.0))
+
+    def test_shadowed_model_with_seed(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=4.0)
+        a = received_power(0.1, 25.0, model=model, rng=3)
+        b = received_power(0.1, 25.0, model=model, rng=3)
+        assert a == b

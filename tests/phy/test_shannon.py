@@ -1,0 +1,131 @@
+"""Shannon-rate / airtime tests (paper Eqs. 1, 2 and Table 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.shannon import (
+    Channel,
+    airtime,
+    rate_from_snr_db,
+    shannon_rate,
+    sinr,
+)
+
+positive_power = st.floats(min_value=1e-15, max_value=1.0)
+
+
+class TestSinr:
+    def test_no_interference(self):
+        assert sinr(1e-9, 0.0, 1e-13) == pytest.approx(1e4)
+
+    def test_with_interference(self):
+        assert sinr(2.0, 1.0, 1.0) == pytest.approx(1.0)
+
+    def test_zero_signal(self):
+        assert sinr(0.0, 1.0, 1.0) == 0.0
+
+    def test_rejects_negative_signal(self):
+        with pytest.raises(ValueError):
+            sinr(-1.0, 0.0, 1.0)
+
+    def test_rejects_zero_noise(self):
+        with pytest.raises(ValueError):
+            sinr(1.0, 0.0, 0.0)
+
+    def test_broadcasts(self):
+        out = sinr(np.array([1.0, 2.0]), 0.0, 1.0)
+        assert list(out) == [1.0, 2.0]
+
+
+class TestShannonRate:
+    def test_unit_snr(self):
+        # log2(1 + 1) == 1 bit/s/Hz
+        assert shannon_rate(1e6, 1.0, 0.0, 1.0) == pytest.approx(1e6)
+
+    def test_eq1_interference_limited(self):
+        # Eq. 1: r = B log2(1 + S1/(S2 + N0))
+        rate = shannon_rate(20e6, 3.0, 1.0, 1.0)
+        assert rate == pytest.approx(20e6 * math.log2(1 + 3.0 / 2.0))
+
+    def test_eq2_clean(self):
+        rate = shannon_rate(20e6, 7.0, 0.0, 1.0)
+        assert rate == pytest.approx(20e6 * 3.0)
+
+    def test_zero_signal_zero_rate(self):
+        assert shannon_rate(1e6, 0.0, 0.0, 1.0) == 0.0
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            shannon_rate(0.0, 1.0, 0.0, 1.0)
+
+    @given(positive_power, positive_power)
+    def test_interference_never_helps(self, s, i):
+        clean = shannon_rate(1e6, s, 0.0, 1e-13)
+        interfered = shannon_rate(1e6, s, i, 1e-13)
+        assert interfered <= clean
+
+    @given(positive_power, positive_power)
+    def test_monotone_in_signal(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert (shannon_rate(1e6, lo, 0.0, 1e-13)
+                <= shannon_rate(1e6, hi, 0.0, 1e-13))
+
+
+class TestAirtime:
+    def test_simple(self):
+        assert airtime(1000.0, 1000.0) == 1.0
+
+    def test_zero_rate_is_infinite(self):
+        assert airtime(1000.0, 0.0) == math.inf
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            airtime(0.0, 1.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            airtime(10.0, -1.0)
+
+    def test_broadcasts(self):
+        out = airtime(100.0, np.array([10.0, 0.0]))
+        assert out[0] == 10.0 and math.isinf(out[1])
+
+
+class TestChannel:
+    def test_defaults_positive(self):
+        ch = Channel()
+        assert ch.bandwidth_hz > 0 and ch.noise_w > 0
+
+    def test_frozen(self):
+        ch = Channel()
+        with pytest.raises(AttributeError):
+            ch.bandwidth_hz = 1.0
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError):
+            Channel(noise_w=0.0)
+
+    def test_rate_matches_function(self, channel):
+        assert channel.rate(1e-9, 1e-10) == pytest.approx(
+            shannon_rate(channel.bandwidth_hz, 1e-9, 1e-10,
+                         channel.noise_w))
+
+    def test_snr(self, channel):
+        assert channel.snr(channel.noise_w) == pytest.approx(1.0)
+
+    def test_airtime_helper(self, channel):
+        t = channel.airtime(12000.0, 1e-9)
+        assert t == pytest.approx(12000.0 / channel.rate(1e-9))
+
+
+class TestRateFromSnrDb:
+    def test_zero_db(self):
+        assert rate_from_snr_db(1e6, 0.0) == pytest.approx(1e6)
+
+    def test_matches_linear_path(self):
+        assert rate_from_snr_db(20e6, 20.0) == pytest.approx(
+            shannon_rate(20e6, 100.0, 0.0, 1.0))

@@ -1,0 +1,146 @@
+"""Cross-module property tests on the library's core invariants.
+
+Module-level tests already carry targeted hypothesis cases; this file
+holds the invariants that span several subsystems at once — "the
+analytic layer, the techniques and the scheduler never disagree about
+who is faster" style guarantees.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.scheduling.matching import (
+    matching_cost,
+    min_weight_perfect_matching,
+)
+from repro.scheduling.scheduler import SicScheduler, UploadClient
+from repro.sic.airtime import z_serial_same_receiver, z_sic_same_receiver
+from repro.sic.capacity import capacity_with_sic
+from repro.sic.receiver import SicReceiver
+from repro.techniques.pairing import TechniqueSet, pair_airtime
+from repro.util.cdf import EmpiricalCdf
+
+rss = st.floats(min_value=1e-13, max_value=1e-5)
+L = 12_000.0
+
+
+class TestAnalyticOperationalAgreement:
+    @settings(max_examples=80, deadline=None)
+    @given(rss, rss)
+    def test_eq6_rates_always_decodable(self, a, b):
+        """The rate pair behind Eq. 6 must pass the receiver's own
+        decode procedure — the analysis and the receiver model cannot
+        drift apart."""
+        channel = Channel()
+        receiver = SicReceiver(channel=channel)
+        rate_a, rate_b = receiver.feasible_rate_pair(a, b)
+        assert receiver.can_resolve_both(a, rate_a, b, rate_b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(rss, rss)
+    def test_sic_airtime_consistent_with_rate_pair(self, a, b):
+        channel = Channel()
+        receiver = SicReceiver(channel=channel)
+        rate_a, rate_b = receiver.feasible_rate_pair(a, b)
+        z = z_sic_same_receiver(channel, L, a, b)
+        assert z == pytest.approx(max(L / rate_a, L / rate_b), rel=1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(rss, rss)
+    def test_capacity_equals_sum_of_rate_pair(self, a, b):
+        channel = Channel()
+        receiver = SicReceiver(channel=channel)
+        rate_a, rate_b = receiver.feasible_rate_pair(a, b)
+        assert capacity_with_sic(channel, a, b) == pytest.approx(
+            rate_a + rate_b, rel=1e-9)
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rss, min_size=1, max_size=8))
+    def test_schedule_never_slower_than_serial(self, rss_list):
+        scheduler = SicScheduler(channel=Channel(),
+                                 techniques=TechniqueSet.ALL)
+        clients = [UploadClient(f"C{i}", value)
+                   for i, value in enumerate(rss_list)]
+        schedule = scheduler.schedule(clients)
+        assert schedule.total_time_s <= \
+            scheduler.serial_time(clients) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rss, min_size=2, max_size=8))
+    def test_schedule_invariant_under_client_order(self, rss_list):
+        scheduler = SicScheduler(channel=Channel(),
+                                 techniques=TechniqueSet.ALL)
+        clients = [UploadClient(f"C{i}", value)
+                   for i, value in enumerate(rss_list)]
+        forward = scheduler.schedule(clients).total_time_s
+        backward = scheduler.schedule(list(reversed(clients))).total_time_s
+        assert forward == pytest.approx(backward, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rss, min_size=2, max_size=6), rss)
+    def test_adding_a_client_never_reduces_total_time(self, rss_list,
+                                                      extra):
+        scheduler = SicScheduler(channel=Channel(),
+                                 techniques=TechniqueSet.ALL)
+        clients = [UploadClient(f"C{i}", value)
+                   for i, value in enumerate(rss_list)]
+        base = scheduler.schedule(clients).total_time_s
+        more = scheduler.schedule(
+            clients + [UploadClient("extra", extra)]).total_time_s
+        assert more >= base - 1e-12
+
+
+class TestMatchingInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0),
+                    min_size=6, max_size=6))
+    def test_perfect_matching_cost_is_lower_bound_over_swaps(self, values):
+        # 4 vertices, 6 edge costs: optimal never beats a local 2-swap.
+        costs = dict(zip(itertools.combinations(range(4), 2), values))
+        matching = min_weight_perfect_matching(costs, 4)
+        optimal = matching_cost(matching, costs)
+        for perfect in ([(0, 1), (2, 3)], [(0, 2), (1, 3)],
+                        [(0, 3), (1, 2)]):
+            assert optimal <= matching_cost(set(perfect), costs) + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0),
+                    min_size=15, max_size=15),
+           st.floats(min_value=0.5, max_value=2.0))
+    def test_scaling_costs_preserves_matching_structure(self, values,
+                                                        scale):
+        costs = dict(zip(itertools.combinations(range(6), 2), values))
+        scaled = {pair: cost * scale for pair, cost in costs.items()}
+        original = min_weight_perfect_matching(costs, 6)
+        rescaled = min_weight_perfect_matching(scaled, 6)
+        assert matching_cost(rescaled, scaled) == pytest.approx(
+            scale * matching_cost(original, costs), rel=1e-6)
+
+
+class TestPairCostInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(rss, rss)
+    def test_pair_cost_between_halves_of_serial_and_serial(self, a, b):
+        channel = Channel()
+        cost = pair_airtime(channel, L, a, b, techniques=TechniqueSet.ALL)
+        serial = z_serial_same_receiver(channel, L, a, b)
+        # The pair still has to deliver both packets: no pairing can
+        # beat half the serial time (gain <= 2), nor lose to serial.
+        assert serial / 2 - 1e-12 <= cost.airtime_s <= serial + 1e-12
+
+
+class TestCdfInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=1.0, max_value=2.0),
+                    min_size=1, max_size=40))
+    def test_quantiles_invert_cdf(self, samples):
+        cdf = EmpiricalCdf.from_samples(samples)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            x = cdf.quantile(q)
+            assert cdf(x) >= q - 1e-9

@@ -1,0 +1,118 @@
+"""Round-based backlog scheduler tests."""
+
+import pytest
+
+from repro.scheduling.backlog import (
+    BacklogClient,
+    BacklogResult,
+    drain_backlog,
+)
+from repro.scheduling.scheduler import SicScheduler
+from repro.techniques.pairing import TechniqueSet
+
+
+@pytest.fixture
+def scheduler(channel):
+    return SicScheduler(channel=channel, techniques=TechniqueSet.ALL)
+
+
+def make_backlog(channel, spec):
+    """spec: list of (snr_db, backlog)."""
+    n0 = channel.noise_w
+    return [BacklogClient(f"C{i + 1}", 10 ** (snr / 10) * n0, queue)
+            for i, (snr, queue) in enumerate(spec)]
+
+
+class TestBacklogClient:
+    def test_rejects_negative_backlog(self):
+        with pytest.raises(ValueError):
+            BacklogClient("c", 1e-9, -1)
+
+    def test_zero_backlog_allowed(self):
+        assert BacklogClient("c", 1e-9, 0).backlog == 0
+
+    def test_as_upload_client(self):
+        client = BacklogClient("c", 1e-9, 3)
+        upload = client.as_upload_client()
+        assert upload.name == "c" and upload.rss_w == 1e-9
+
+
+class TestDrainBacklog:
+    def test_empty(self, scheduler):
+        result = drain_backlog(scheduler, [])
+        assert result.n_rounds == 0
+        assert result.total_time_s == 0.0
+        assert result.gain == 1.0
+
+    def test_all_zero_backlogs(self, scheduler, channel):
+        clients = make_backlog(channel, [(30, 0), (20, 0)])
+        result = drain_backlog(scheduler, clients)
+        assert result.n_rounds == 0
+
+    def test_round_count_is_max_backlog(self, scheduler, channel):
+        clients = make_backlog(channel, [(30, 3), (20, 1), (15, 2)])
+        result = drain_backlog(scheduler, clients)
+        assert result.n_rounds == 3
+
+    def test_packet_conservation(self, scheduler, channel):
+        clients = make_backlog(channel, [(32, 2), (25, 3), (14, 1)])
+        result = drain_backlog(scheduler, clients)
+        scheduled = sum(len(slot.clients) for schedule in result.rounds
+                        for slot in schedule.slots)
+        assert scheduled == sum(c.backlog for c in clients)
+
+    def test_every_client_gets_finish_time(self, scheduler, channel):
+        clients = make_backlog(channel, [(30, 2), (20, 1), (12, 4)])
+        result = drain_backlog(scheduler, clients)
+        assert set(result.finish_times_s) == {"C1", "C2", "C3"}
+
+    def test_finish_times_within_total(self, scheduler, channel):
+        clients = make_backlog(channel, [(30, 2), (20, 3)])
+        result = drain_backlog(scheduler, clients)
+        for finish in result.finish_times_s.values():
+            assert 0.0 < finish <= result.total_time_s + 1e-12
+
+    def test_never_slower_than_serial(self, scheduler, channel):
+        clients = make_backlog(channel, [(35, 4), (28, 2), (18, 3),
+                                         (10, 1)])
+        result = drain_backlog(scheduler, clients)
+        assert result.total_time_s <= result.serial_time_s + 1e-12
+        assert result.gain >= 1.0 - 1e-12
+
+    def test_pairing_gains_survive_backlogs(self, scheduler, channel):
+        # Clients with SNR gaps near the sweet spot keep pairing well
+        # across rounds.
+        clients = make_backlog(channel, [(32, 3), (16, 3), (28, 3),
+                                         (14, 3)])
+        result = drain_backlog(scheduler, clients)
+        assert result.gain > 1.2
+
+    def test_uneven_backlogs_still_drain(self, scheduler, channel):
+        clients = make_backlog(channel, [(30, 5), (20, 1)])
+        result = drain_backlog(scheduler, clients)
+        # After C2 drains, C1 transmits solo for the remaining rounds.
+        assert result.n_rounds == 5
+        last_round = result.rounds[-1]
+        assert last_round.client_names == ("C1",)
+
+    def test_duplicate_names_rejected(self, scheduler):
+        clients = [BacklogClient("X", 1e-9, 1), BacklogClient("X", 1e-10, 1)]
+        with pytest.raises(ValueError, match="unique"):
+            drain_backlog(scheduler, clients)
+
+    def test_fairness_index_bounds(self, scheduler, channel):
+        clients = make_backlog(channel, [(30, 2), (25, 2), (20, 2)])
+        result = drain_backlog(scheduler, clients)
+        index = result.fairness_index()
+        assert 1.0 / 3.0 <= index <= 1.0
+
+    def test_equal_backlogs_fairer_than_skewed(self, scheduler, channel):
+        equal = drain_backlog(scheduler, make_backlog(
+            channel, [(30, 2), (25, 2), (20, 2)]))
+        skewed = drain_backlog(scheduler, make_backlog(
+            channel, [(30, 6), (25, 1), (20, 1)]))
+        assert equal.fairness_index() >= skewed.fairness_index()
+
+    def test_empty_result_fairness(self):
+        result = BacklogResult(rounds=(), serial_time_s=0.0)
+        assert result.fairness_index() == 1.0

@@ -1,0 +1,108 @@
+"""Baseline-policy tests."""
+
+import pytest
+
+from repro.scheduling.baselines import (
+    _pairings,
+    brute_force_schedule,
+    greedy_schedule,
+    random_schedule,
+    serial_schedule,
+)
+from repro.scheduling.scheduler import SicScheduler, UploadClient
+from repro.techniques.pairing import TechniqueSet
+
+
+def make_clients(rss_list):
+    return [UploadClient(f"C{i + 1}", rss) for i, rss in enumerate(rss_list)]
+
+
+@pytest.fixture
+def scheduler(channel):
+    return SicScheduler(channel=channel, techniques=TechniqueSet.ALL)
+
+
+@pytest.fixture
+def clients(channel, rng):
+    return make_clients(10 ** rng.uniform(-12, -8, size=6))
+
+
+class TestPairingsEnumeration:
+    def test_two_elements(self):
+        options = list(_pairings([0, 1]))
+        assert ([], [0, 1]) in [(p, s) for p, s in options]
+        assert ([(0, 1)], []) in [(p, s) for p, s in options]
+        assert len(options) == 2
+
+    def test_counts_follow_involution_numbers(self):
+        # Number of partial matchings on n labelled vertices:
+        # 1, 1, 2, 4, 10, 26, 76 (telephone numbers).
+        for n, expected in [(0, 1), (1, 1), (2, 2), (3, 4), (4, 10),
+                            (5, 26), (6, 76)]:
+            assert len(list(_pairings(list(range(n))))) == expected
+
+    def test_each_partition_covers_all(self):
+        for pairs, solo in _pairings([0, 1, 2, 3]):
+            flat = sorted([v for p in pairs for v in p] + solo)
+            assert flat == [0, 1, 2, 3]
+
+
+class TestSerial:
+    def test_all_slots_solo(self, scheduler, clients):
+        schedule = serial_schedule(scheduler, clients)
+        assert all(not s.is_pair for s in schedule.slots)
+        assert schedule.gain == pytest.approx(1.0)
+
+
+class TestGreedy:
+    def test_never_worse_than_serial(self, scheduler, clients):
+        greedy = greedy_schedule(scheduler, clients)
+        serial = serial_schedule(scheduler, clients)
+        assert greedy.total_time_s <= serial.total_time_s + 1e-12
+
+    def test_never_better_than_blossom(self, scheduler, clients):
+        greedy = greedy_schedule(scheduler, clients)
+        optimal = scheduler.schedule(clients)
+        assert optimal.total_time_s <= greedy.total_time_s + 1e-12
+
+    def test_stops_pairing_when_no_saving(self, channel):
+        # Two equal very strong clients: SIC pairing without techniques
+        # saves nothing, so greedy leaves both solo.
+        scheduler = SicScheduler(channel=channel,
+                                 techniques=TechniqueSet.NONE)
+        n0 = channel.noise_w
+        clients = make_clients([1e6 * n0, 1e6 * n0])
+        schedule = greedy_schedule(scheduler, clients)
+        assert all(not s.is_pair for s in schedule.slots)
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self, scheduler, clients):
+        a = random_schedule(scheduler, clients, rng=5)
+        b = random_schedule(scheduler, clients, rng=5)
+        assert a.total_time_s == b.total_time_s
+
+    def test_covers_everyone(self, scheduler, clients):
+        schedule = random_schedule(scheduler, clients, rng=1)
+        assert sorted(schedule.client_names) == sorted(
+            c.name for c in clients)
+
+    def test_odd_count(self, scheduler, channel, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=5))
+        schedule = random_schedule(scheduler, clients, rng=2)
+        solos = [s for s in schedule.slots if not s.is_pair]
+        assert len(solos) == 1
+
+
+class TestBruteForce:
+    def test_refuses_large_instances(self, scheduler):
+        clients = make_clients([1e-9] * 13)
+        with pytest.raises(ValueError, match="brute force"):
+            brute_force_schedule(scheduler, clients)
+
+    def test_beats_or_ties_everything(self, scheduler, clients):
+        brute = brute_force_schedule(scheduler, clients)
+        for other in (serial_schedule(scheduler, clients),
+                      greedy_schedule(scheduler, clients),
+                      random_schedule(scheduler, clients, rng=0)):
+            assert brute.total_time_s <= other.total_time_s + 1e-12

@@ -1,0 +1,151 @@
+"""Group-scheduling extension tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.scheduling.groups import (
+    GroupSchedule,
+    GroupSlot,
+    exhaustive_group_schedule,
+    greedy_group_schedule,
+    group_airtime,
+)
+from repro.scheduling.scheduler import SicScheduler, UploadClient
+from repro.sic.ksic import equal_rate_group_powers
+
+rss_values = st.floats(min_value=1e-13, max_value=1e-6)
+
+
+def make_clients(rss_list):
+    return [UploadClient(f"C{i + 1}", rss) for i, rss in enumerate(rss_list)]
+
+
+class TestGroupAirtime:
+    def test_empty(self, channel):
+        assert group_airtime(channel, 12_000.0, []) == (0.0, False)
+
+    def test_single_is_solo(self, channel):
+        time, used_sic = group_airtime(channel, 12_000.0, [1e-9])
+        assert not used_sic
+        assert time == pytest.approx(12_000.0 / channel.rate(1e-9))
+
+    def test_never_worse_than_serial(self, channel, rng):
+        for _ in range(20):
+            rss = list(10 ** rng.uniform(-12, -8, size=4))
+            time, _ = group_airtime(channel, 12_000.0, rss)
+            serial = sum(12_000.0 / channel.rate(r) for r in rss)
+            assert time <= serial + 1e-12
+
+    def test_equal_rate_ladder_uses_sic(self, channel):
+        powers = equal_rate_group_powers(channel, 3, 10.0)
+        time, used_sic = group_airtime(channel, 12_000.0, powers)
+        assert used_sic
+
+
+class TestGreedy:
+    def test_all_clients_covered_once(self, channel, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=9))
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=3)
+        names = [n for slot in schedule.slots for n in slot.clients]
+        assert sorted(names) == sorted(c.name for c in clients)
+
+    def test_group_size_respected(self, channel, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=10))
+        for k in (1, 2, 4):
+            schedule = greedy_group_schedule(channel, clients,
+                                             max_group_size=k)
+            assert max(len(s.clients) for s in schedule.slots) <= k
+
+    def test_k1_is_serial(self, channel, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=5))
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=1)
+        assert schedule.gain == pytest.approx(1.0)
+
+    def test_gain_at_least_one(self, channel, rng):
+        clients = make_clients(10 ** rng.uniform(-13, -7, size=8))
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=3)
+        assert schedule.gain >= 1.0 - 1e-12
+
+    def test_bigger_groups_never_hurt(self, channel, rng):
+        clients = make_clients(10 ** rng.uniform(-12.5, -8, size=10))
+        times = [greedy_group_schedule(channel, clients,
+                                       max_group_size=k).total_time_s
+                 for k in (1, 2, 3)]
+        # Greedy is a heuristic, but k=1 (serial) must never win.
+        assert times[1] <= times[0] + 1e-12
+        assert times[2] <= times[0] + 1e-12
+
+    def test_duplicate_names_rejected(self, channel):
+        clients = [UploadClient("X", 1e-9), UploadClient("X", 1e-10)]
+        with pytest.raises(ValueError, match="unique"):
+            greedy_group_schedule(channel, clients)
+
+    def test_bad_group_size_rejected(self, channel):
+        with pytest.raises(ValueError):
+            greedy_group_schedule(channel, make_clients([1e-9]),
+                                  max_group_size=0)
+
+    def test_equal_rate_ladder_grouped_together(self, channel):
+        powers = equal_rate_group_powers(channel, 3, 10.0)
+        clients = make_clients(powers)
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=3)
+        assert len(schedule.slots) == 1
+        assert schedule.slots[0].used_sic
+        assert schedule.gain > 1.5
+
+    def test_str_rendering(self, channel):
+        clients = make_clients([1e-9, 1e-11])
+        text = str(greedy_group_schedule(channel, clients))
+        assert "group schedule" in text
+
+
+class TestExhaustive:
+    def test_refuses_large_instances(self, channel):
+        clients = make_clients([1e-9] * 10)
+        with pytest.raises(ValueError, match="exhaustive"):
+            exhaustive_group_schedule(channel, clients)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(rss_values, min_size=1, max_size=6))
+    def test_greedy_never_beats_exhaustive(self, rss_list):
+        channel = Channel()
+        clients = make_clients(rss_list)
+        greedy = greedy_group_schedule(channel, clients,
+                                       max_group_size=3)
+        optimal = exhaustive_group_schedule(channel, clients,
+                                            max_group_size=3)
+        assert greedy.total_time_s >= optimal.total_time_s - 1e-12
+
+    def test_k2_exhaustive_matches_blossom(self, channel, rng):
+        # Groups capped at 2 with plain SIC costs == the paper's
+        # matching problem; exhaustive grouping must tie the blossom
+        # scheduler.
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=6))
+        grouped = exhaustive_group_schedule(channel, clients,
+                                            max_group_size=2)
+        blossom = SicScheduler(channel=channel).schedule(clients)
+        assert grouped.total_time_s == pytest.approx(
+            blossom.total_time_s, rel=1e-9)
+
+    def test_k3_at_least_as_good_as_k2(self, channel, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=7))
+        k2 = exhaustive_group_schedule(channel, clients, max_group_size=2)
+        k3 = exhaustive_group_schedule(channel, clients, max_group_size=3)
+        assert k3.total_time_s <= k2.total_time_s + 1e-12
+
+
+class TestDataShapes:
+    def test_schedule_total_and_gain(self):
+        schedule = GroupSchedule(
+            slots=(GroupSlot(("a", "b"), 2.0, True),
+                   GroupSlot(("c",), 1.0, False)),
+            serial_time_s=6.0)
+        assert schedule.total_time_s == 3.0
+        assert schedule.gain == 2.0

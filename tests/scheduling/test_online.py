@@ -1,0 +1,114 @@
+"""Online (arrival-driven) scheduling tests."""
+
+import pytest
+
+from repro.scheduling.online import (
+    ArrivalClient,
+    compare_policies_online,
+    simulate_online,
+)
+from repro.scheduling.scheduler import SicScheduler
+from repro.techniques.pairing import TechniqueSet
+
+
+@pytest.fixture
+def scheduler(channel):
+    return SicScheduler(channel=channel, techniques=TechniqueSet.ALL)
+
+
+def make_clients(channel, spec):
+    """spec: list of (snr_db, arrival_rate_hz)."""
+    n0 = channel.noise_w
+    return [ArrivalClient(f"C{i + 1}", 10 ** (snr / 10) * n0, rate)
+            for i, (snr, rate) in enumerate(spec)]
+
+
+class TestArrivalClient:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ArrivalClient("c", 1e-9, 0.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ArrivalClient("", 1e-9, 1.0)
+
+
+class TestSimulateOnline:
+    def test_unknown_policy_rejected(self, scheduler, channel):
+        clients = make_clients(channel, [(30, 100.0)])
+        with pytest.raises(ValueError, match="policy"):
+            simulate_online(scheduler, clients, 1.0, policy="magic")
+
+    def test_duplicate_names_rejected(self, scheduler):
+        clients = [ArrivalClient("X", 1e-9, 1.0),
+                   ArrivalClient("X", 1e-10, 1.0)]
+        with pytest.raises(ValueError, match="unique"):
+            simulate_online(scheduler, clients, 1.0)
+
+    def test_every_arrival_served(self, scheduler, channel):
+        clients = make_clients(channel, [(30, 2000.0), (18, 2000.0)])
+        metrics = simulate_online(scheduler, clients, 0.2,
+                                  policy="sic_pairing", seed=5)
+        assert metrics.leftover_packets == 0
+        assert metrics.served_packets == len(metrics.delays_s)
+        assert metrics.served_packets > 0
+
+    def test_deterministic_with_seed(self, scheduler, channel):
+        clients = make_clients(channel, [(30, 1000.0), (18, 1000.0)])
+        a = simulate_online(scheduler, clients, 0.2, seed=9)
+        b = simulate_online(scheduler, clients, 0.2, seed=9)
+        assert a.delays_s == b.delays_s
+
+    def test_delays_positive(self, scheduler, channel):
+        clients = make_clients(channel, [(30, 3000.0), (18, 3000.0)])
+        metrics = simulate_online(scheduler, clients, 0.1, seed=2)
+        assert all(delay > 0.0 for delay in metrics.delays_s)
+
+    def test_utilisation_bounded(self, scheduler, channel):
+        clients = make_clients(channel, [(30, 5000.0), (18, 5000.0)])
+        metrics = simulate_online(scheduler, clients, 0.2, seed=3)
+        assert 0.0 < metrics.utilisation <= 1.0
+
+    def test_light_load_mostly_idle(self, scheduler, channel):
+        clients = make_clients(channel, [(30, 20.0)])
+        metrics = simulate_online(scheduler, clients, 1.0, seed=4)
+        assert metrics.utilisation < 0.1
+
+    def test_fifo_serves_in_arrival_order(self, scheduler, channel):
+        # Single client: FIFO delays must be non-decreasing during a
+        # busy period and every packet served.
+        clients = make_clients(channel, [(12, 8000.0)])
+        metrics = simulate_online(scheduler, clients, 0.05,
+                                  policy="fifo", seed=6)
+        assert metrics.served_packets == len(metrics.delays_s)
+        assert metrics.leftover_packets == 0
+
+
+class TestPolicyComparison:
+    def test_same_sample_paths(self, scheduler, channel):
+        clients = make_clients(channel, [(32, 3000.0), (16, 3000.0),
+                                         (26, 3000.0), (13, 3000.0)])
+        out = compare_policies_online(scheduler, clients, 0.2, seed=11)
+        assert out["fifo"].served_packets == \
+            out["sic_pairing"].served_packets
+
+    def test_sic_pairing_cuts_delay_under_load(self, scheduler, channel):
+        # A loaded system with pairable SNR gaps: batching + SIC drains
+        # the queue faster, so mean sojourn time drops.
+        clients = make_clients(channel, [(32, 4000.0), (16, 4000.0),
+                                         (28, 4000.0), (13, 4000.0)])
+        out = compare_policies_online(scheduler, clients, 0.3, seed=13)
+        assert out["sic_pairing"].mean_delay_s < out["fifo"].mean_delay_s
+
+    def test_sic_pairing_cuts_busy_time(self, scheduler, channel):
+        clients = make_clients(channel, [(32, 4000.0), (16, 4000.0),
+                                         (28, 4000.0), (13, 4000.0)])
+        out = compare_policies_online(scheduler, clients, 0.3, seed=17)
+        assert out["sic_pairing"].busy_time_s <= \
+            out["fifo"].busy_time_s + 1e-9
+
+    def test_p95_reported(self, scheduler, channel):
+        clients = make_clients(channel, [(30, 3000.0), (18, 3000.0)])
+        out = compare_policies_online(scheduler, clients, 0.2, seed=19)
+        for metrics in out.values():
+            assert metrics.p95_delay_s >= metrics.mean_delay_s * 0.5

@@ -1,0 +1,170 @@
+"""SIC-aware scheduler tests (paper Section 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.scheduling.baselines import brute_force_schedule
+from repro.scheduling.scheduler import (
+    Schedule,
+    ScheduledSlot,
+    SicScheduler,
+    UploadClient,
+)
+from repro.techniques.pairing import PairMode, TechniqueSet
+
+rss_values = st.floats(min_value=1e-13, max_value=1e-6)
+
+
+def make_clients(rss_list):
+    return [UploadClient(f"C{i + 1}", rss) for i, rss in enumerate(rss_list)]
+
+
+@pytest.fixture
+def scheduler(channel):
+    return SicScheduler(channel=channel, techniques=TechniqueSet.ALL)
+
+
+class TestUploadClient:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            UploadClient("", 1e-9)
+
+    def test_rejects_bad_rss(self):
+        with pytest.raises(ValueError):
+            UploadClient("c", 0.0)
+
+
+class TestScheduleBasics:
+    def test_empty_backlog(self, scheduler):
+        schedule = scheduler.schedule([])
+        assert schedule.slots == ()
+        assert schedule.total_time_s == 0.0
+        assert schedule.gain == 1.0
+
+    def test_single_client_goes_solo(self, scheduler):
+        clients = make_clients([1e-9])
+        schedule = scheduler.schedule(clients)
+        assert len(schedule.slots) == 1
+        assert schedule.slots[0].clients == ("C1",)
+        assert schedule.slots[0].mode is PairMode.SERIAL
+        assert schedule.gain == 1.0
+
+    def test_duplicate_names_rejected(self, scheduler):
+        clients = [UploadClient("X", 1e-9), UploadClient("X", 1e-10)]
+        with pytest.raises(ValueError, match="unique"):
+            scheduler.schedule(clients)
+
+    def test_every_client_scheduled_once(self, scheduler, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=9))
+        schedule = scheduler.schedule(clients)
+        assert sorted(schedule.client_names) == sorted(
+            c.name for c in clients)
+
+    def test_odd_count_has_exactly_one_solo(self, scheduler, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=7))
+        schedule = scheduler.schedule(clients)
+        solos = [s for s in schedule.slots if not s.is_pair]
+        assert len(solos) == 1
+
+    def test_even_count_all_pairs(self, scheduler, rng):
+        # Pair costs never exceed serial, so a perfect matching on an
+        # even count never leaves anyone solo.
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=8))
+        schedule = scheduler.schedule(clients)
+        assert all(s.is_pair for s in schedule.slots)
+
+    def test_gain_at_least_one(self, scheduler, rng):
+        for _ in range(10):
+            clients = make_clients(10 ** rng.uniform(-13, -7, size=6))
+            assert scheduler.schedule(clients).gain >= 1.0 - 1e-12
+
+    def test_str_rendering(self, scheduler):
+        schedule = scheduler.schedule(make_clients([1e-9, 1e-11]))
+        text = str(schedule)
+        assert "gain" in text and "C1" in text
+
+
+class TestOptimality:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(rss_values, min_size=2, max_size=6))
+    def test_matches_brute_force(self, rss_list):
+        scheduler = SicScheduler(channel=Channel(),
+                                 techniques=TechniqueSet.ALL)
+        clients = make_clients(rss_list)
+        optimal = scheduler.schedule(clients)
+        brute = brute_force_schedule(scheduler, clients)
+        assert optimal.total_time_s == pytest.approx(
+            brute.total_time_s, rel=1e-9)
+
+    def test_no_sic_scheduler_is_serial(self, channel, rng):
+        scheduler = SicScheduler(channel=channel, sic_enabled=False)
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=6))
+        schedule = scheduler.schedule(clients)
+        assert schedule.total_time_s == pytest.approx(
+            scheduler.serial_time(clients))
+        assert schedule.gain == pytest.approx(1.0)
+
+    def test_techniques_never_hurt_schedule(self, channel, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=8))
+        plain = SicScheduler(channel=channel).schedule(clients)
+        full = SicScheduler(channel=channel,
+                            techniques=TechniqueSet.ALL).schedule(clients)
+        assert full.total_time_s <= plain.total_time_s + 1e-12
+
+
+class TestCostGraph:
+    def test_even_count_no_dummy(self, scheduler):
+        clients = make_clients([1e-9, 1e-10, 1e-11, 1e-12])
+        costs, dummy = scheduler.build_cost_graph(clients)
+        assert dummy is None
+        assert len(costs) == 6
+
+    def test_odd_count_dummy_edges(self, scheduler):
+        clients = make_clients([1e-9, 1e-10, 1e-11])
+        costs, dummy = scheduler.build_cost_graph(clients)
+        assert dummy == 3
+        # 3 pair edges + 3 dummy edges.
+        assert len(costs) == 6
+        for i, client in enumerate(clients):
+            assert costs[(i, dummy)] == pytest.approx(
+                scheduler.solo_cost(client))
+
+    def test_pair_cost_symmetric_in_clients(self, scheduler):
+        a, b = UploadClient("a", 1e-9), UploadClient("b", 1e-11)
+        assert scheduler.pair_cost(a, b).airtime_s == pytest.approx(
+            scheduler.pair_cost(b, a).airtime_s)
+
+
+class TestPairingToSchedule:
+    def test_explicit_pairing(self, scheduler):
+        clients = make_clients([1e-9, 1e-10, 1e-11])
+        schedule = scheduler.pairing_to_schedule(clients, [(0, 2)], [1])
+        assert len(schedule.slots) == 2
+        assert schedule.slots[0].clients == ("C1", "C3")
+
+    def test_incomplete_cover_rejected(self, scheduler):
+        clients = make_clients([1e-9, 1e-10, 1e-11])
+        with pytest.raises(ValueError, match="exactly once"):
+            scheduler.pairing_to_schedule(clients, [(0, 1)], [])
+
+    def test_double_cover_rejected(self, scheduler):
+        clients = make_clients([1e-9, 1e-10])
+        with pytest.raises(ValueError, match="exactly once"):
+            scheduler.pairing_to_schedule(clients, [(0, 1)], [0])
+
+
+class TestScheduledSlot:
+    def test_is_pair(self):
+        pair = ScheduledSlot(("a", "b"), 1.0, PairMode.SIC)
+        solo = ScheduledSlot(("a",), 1.0, PairMode.SERIAL)
+        assert pair.is_pair and not solo.is_pair
+
+    def test_schedule_total(self):
+        schedule = Schedule(
+            slots=(ScheduledSlot(("a",), 1.5, PairMode.SERIAL),
+                   ScheduledSlot(("b", "c"), 2.5, PairMode.SIC)),
+            serial_time_s=8.0)
+        assert schedule.total_time_s == 4.0
+        assert schedule.gain == 2.0

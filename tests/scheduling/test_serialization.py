@@ -1,0 +1,65 @@
+"""Schedule JSON-serialisation tests."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.scheduling.scheduler import Schedule, SicScheduler, UploadClient
+from repro.techniques.pairing import TechniqueSet
+
+rss_values = st.floats(min_value=1e-12, max_value=1e-7)
+
+
+class TestScheduleSerialization:
+    def make_schedule(self, rss_list):
+        scheduler = SicScheduler(channel=Channel(),
+                                 techniques=TechniqueSet.ALL)
+        clients = [UploadClient(f"C{i}", rss)
+                   for i, rss in enumerate(rss_list)]
+        return scheduler.schedule(clients)
+
+    def test_round_trip(self):
+        schedule = self.make_schedule([1e-9, 1e-11, 3e-10])
+        back = Schedule.from_dict(schedule.to_dict())
+        assert back == schedule
+
+    def test_json_compatible(self):
+        schedule = self.make_schedule([1e-9, 1e-11])
+        payload = json.dumps(schedule.to_dict())
+        back = Schedule.from_dict(json.loads(payload))
+        assert back.total_time_s == pytest.approx(schedule.total_time_s)
+        assert back.gain == pytest.approx(schedule.gain)
+
+    def test_dict_contains_derived_fields(self):
+        schedule = self.make_schedule([1e-9, 1e-11])
+        data = schedule.to_dict()
+        assert data["total_time_s"] == pytest.approx(
+            schedule.total_time_s)
+        assert data["gain"] == pytest.approx(schedule.gain)
+        assert all("mode" in slot for slot in data["slots"])
+
+    def test_empty_schedule(self):
+        schedule = self.make_schedule([])
+        assert Schedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            Schedule.from_dict({"slots": [{"clients": ["a"]}]})
+        with pytest.raises(ValueError, match="malformed"):
+            Schedule.from_dict({})
+
+    def test_unknown_mode_rejected(self):
+        data = {"serial_time_s": 1.0,
+                "slots": [{"clients": ["a"], "duration_s": 1.0,
+                           "mode": "teleport"}]}
+        with pytest.raises(ValueError):
+            Schedule.from_dict(data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(rss_values, min_size=1, max_size=6))
+    def test_round_trip_property(self, rss_list):
+        schedule = self.make_schedule(rss_list)
+        assert Schedule.from_dict(schedule.to_dict()) == schedule

@@ -1,0 +1,141 @@
+"""Airtime/completion-time tests (paper Eqs. 5, 6, 10; Figs. 4 and 8)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.airtime import (
+    download_gain_two_aps_one_client,
+    optimal_weak_power_ratio,
+    sic_gain_same_receiver,
+    z_serial_download,
+    z_serial_same_receiver,
+    z_sic_same_receiver,
+)
+
+power = st.floats(min_value=1e-13, max_value=1e-5)
+L = 12_000.0
+
+
+class TestEq5Serial:
+    def test_sum_of_clean_airtimes(self, channel):
+        z = z_serial_same_receiver(channel, L, 1e-9, 1e-10)
+        expected = L / channel.rate(1e-9) + L / channel.rate(1e-10)
+        assert z == pytest.approx(expected)
+
+    def test_symmetric(self, channel):
+        assert z_serial_same_receiver(channel, L, 1e-9, 1e-10) == \
+            pytest.approx(z_serial_same_receiver(channel, L, 1e-10, 1e-9))
+
+    def test_rejects_bad_packet(self, channel):
+        with pytest.raises(ValueError):
+            z_serial_same_receiver(channel, 0.0, 1e-9, 1e-10)
+
+
+class TestEq6Sic:
+    def test_max_of_two_terms(self, channel):
+        z = z_sic_same_receiver(channel, L, 1e-9, 1e-10)
+        t_strong = L / channel.rate(1e-9, 1e-10)
+        t_weak = L / channel.rate(1e-10)
+        assert z == pytest.approx(max(t_strong, t_weak))
+
+    def test_auto_ordering(self, channel):
+        assert z_sic_same_receiver(channel, L, 1e-10, 1e-9) == \
+            pytest.approx(z_sic_same_receiver(channel, L, 1e-9, 1e-10))
+
+    @given(power, power)
+    def test_equal_rate_point_minimises_z(self, s_strong_raw, _unused):
+        # At the closed-form equal-rate weak RSS, Z+SIC is minimal over
+        # the weak RSS for a fixed strong RSS.
+        channel = Channel()
+        strong = max(s_strong_raw, 10 * channel.noise_w)
+        opt = optimal_weak_power_ratio(channel, strong)
+        z_opt = z_sic_same_receiver(channel, L, strong, opt)
+        for factor in (0.5, 0.9, 1.1, 2.0):
+            weak = min(opt * factor, strong)
+            assert z_opt <= z_sic_same_receiver(channel, L, strong, weak) \
+                + 1e-12
+
+
+class TestOptimalWeakRss:
+    def test_equalises_rates(self, channel):
+        strong = 1e-9
+        weak = optimal_weak_power_ratio(channel, strong)
+        r_strong = channel.rate(strong, weak)
+        r_weak = channel.rate(weak)
+        assert r_strong == pytest.approx(r_weak, rel=1e-9)
+
+    def test_square_rule_in_snr(self, channel):
+        # "S1 is roughly the square of S2" (twice in dB): for strong
+        # SNR x^2, the optimal weak SNR is close to x (high SNR limit).
+        n0 = channel.noise_w
+        strong_snr = 1e6
+        weak = optimal_weak_power_ratio(channel, strong_snr * n0)
+        weak_snr = weak / n0
+        assert weak_snr == pytest.approx(math.sqrt(strong_snr), rel=0.01)
+
+    def test_rejects_nonpositive(self, channel):
+        with pytest.raises(ValueError):
+            optimal_weak_power_ratio(channel, 0.0)
+
+
+class TestFig4Gain:
+    def test_gain_at_equal_rate_point_is_peak(self, channel):
+        n0 = channel.noise_w
+        strong = 1e4 * n0
+        opt = optimal_weak_power_ratio(channel, strong)
+        g_opt = sic_gain_same_receiver(channel, L, strong, opt)
+        g_near = sic_gain_same_receiver(channel, L, strong, opt * 3)
+        g_far = sic_gain_same_receiver(channel, L, strong, opt / 3)
+        assert g_opt > g_near
+        assert g_opt > g_far
+
+    def test_gain_below_two(self, channel):
+        n0 = channel.noise_w
+        s = np.logspace(0, 5, 25) * n0
+        g = sic_gain_same_receiver(channel, L, s[None, :], s[:, None])
+        assert np.max(g) <= 2.0
+
+    def test_equal_rss_can_lose(self, channel):
+        # Two equal, strong signals: SIC's interference-limited rate is
+        # ~B while serial rates are high, so Z+SIC > Z-SIC (gain < 1).
+        n0 = channel.noise_w
+        g = sic_gain_same_receiver(channel, L, 1e6 * n0, 1e6 * n0)
+        assert g < 1.0
+
+
+class TestEq10Download:
+    def test_stronger_ap_sends_both(self, channel):
+        z = z_serial_download(channel, L, 1e-9, 1e-11)
+        assert z == pytest.approx(2 * L / channel.rate(1e-9))
+
+    def test_symmetric(self, channel):
+        assert z_serial_download(channel, L, 1e-9, 1e-11) == \
+            pytest.approx(z_serial_download(channel, L, 1e-11, 1e-9))
+
+    def test_download_baseline_beats_upload_baseline(self, channel):
+        # Sending both packets via the stronger AP is never slower than
+        # one packet from each transmitter serially.
+        assert z_serial_download(channel, L, 1e-9, 1e-11) <= \
+            z_serial_same_receiver(channel, L, 1e-9, 1e-11)
+
+
+class TestFig8Gain:
+    @given(power, power)
+    def test_download_gain_below_upload_gain(self, s1, s2):
+        channel = Channel()
+        down = download_gain_two_aps_one_client(channel, L, s1, s2)
+        up = sic_gain_same_receiver(channel, L, s1, s2)
+        assert down <= up + 1e-12
+
+    def test_overall_gains_limited(self, channel):
+        # "very little benefit from SIC" — max well under the Fig. 4 peak.
+        n0 = channel.noise_w
+        s = np.logspace(0, 5, 40) * n0
+        g = download_gain_two_aps_one_client(channel, L,
+                                             s[None, :], s[:, None])
+        assert np.max(g) < 1.5

@@ -1,0 +1,100 @@
+"""Capacity tests (paper Eqs. 3-4, Figs. 2-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.capacity import (
+    capacity_gain,
+    capacity_with_sic,
+    capacity_with_sic_closed_form,
+    capacity_without_sic,
+    rate_region_corners,
+)
+
+power = st.floats(min_value=1e-14, max_value=1e-4)
+
+
+class TestEq3:
+    def test_max_of_individuals(self, channel):
+        c = capacity_without_sic(channel, 1e-9, 1e-12)
+        assert c == pytest.approx(channel.rate(1e-9))
+
+    def test_symmetric(self, channel):
+        assert capacity_without_sic(channel, 1e-9, 1e-12) == \
+            capacity_without_sic(channel, 1e-12, 1e-9)
+
+
+class TestEq4:
+    def test_telescoping_identity(self, channel):
+        # B log2(1+S1/(S2+N0)) + B log2(1+S2/N0) == B log2(1+(S1+S2)/N0)
+        for s1, s2 in [(1e-9, 1e-10), (5e-11, 5e-11), (1e-8, 1e-13)]:
+            assert capacity_with_sic(channel, s1, s2) == pytest.approx(
+                capacity_with_sic_closed_form(channel, s1, s2), rel=1e-12)
+
+    @given(power, power)
+    def test_telescoping_identity_property(self, s1, s2):
+        channel = Channel()
+        assert capacity_with_sic(channel, s1, s2) == pytest.approx(
+            capacity_with_sic_closed_form(channel, s1, s2), rel=1e-9)
+
+    @given(power, power)
+    def test_sic_beats_either_individual(self, s1, s2):
+        channel = Channel()
+        c_sic = capacity_with_sic(channel, s1, s2)
+        assert c_sic > channel.rate(s1)
+        assert c_sic > channel.rate(s2)
+
+    def test_argument_order_irrelevant(self, channel):
+        assert capacity_with_sic(channel, 1e-9, 1e-11) == pytest.approx(
+            capacity_with_sic(channel, 1e-11, 1e-9))
+
+    def test_broadcasts(self, channel):
+        out = capacity_with_sic(channel, np.array([1e-9, 1e-10]), 1e-11)
+        assert out.shape == (2,)
+
+
+class TestGain:
+    @given(power, power)
+    def test_gain_at_least_one(self, s1, s2):
+        assert capacity_gain(Channel(), s1, s2) >= 1.0
+
+    def test_equal_small_rss_gains_most(self, channel):
+        n0 = channel.noise_w
+        similar_small = capacity_gain(channel, 2 * n0, 2 * n0)
+        similar_large = capacity_gain(channel, 1e5 * n0, 1e5 * n0)
+        dissimilar = capacity_gain(channel, 1e5 * n0, 2 * n0)
+        assert similar_small > similar_large
+        assert similar_small > dissimilar
+
+    def test_gain_bounded_by_two(self, channel):
+        # With two signals the sum rate is at most double the best
+        # individual rate (equality only as SNR -> 0 with equal RSS).
+        n0 = channel.noise_w
+        grid = np.asarray(capacity_gain(
+            channel,
+            np.logspace(-1, 5, 30)[None, :] * n0,
+            np.logspace(-1, 5, 30)[:, None] * n0))
+        assert grid.max() <= 2.0 + 1e-9
+
+
+class TestRateRegion:
+    def test_corner_rates(self, channel):
+        corners = rate_region_corners(channel, 1e-9, 1e-10)
+        r1_int, r2_clean = corners["1-first"]
+        r1_clean, r2_int = corners["2-first"]
+        assert r1_int == pytest.approx(channel.rate(1e-9, 1e-10))
+        assert r2_clean == pytest.approx(channel.rate(1e-10))
+        assert r1_clean == pytest.approx(channel.rate(1e-9))
+        assert r2_int == pytest.approx(channel.rate(1e-10, 1e-9))
+
+    def test_corners_have_equal_sum(self, channel):
+        # Both decode orders achieve the same sum capacity.
+        corners = rate_region_corners(channel, 1e-9, 1e-10)
+        sum1 = sum(corners["1-first"])
+        sum2 = sum(corners["2-first"])
+        assert sum1 == pytest.approx(sum2, rel=1e-12)
+        assert sum1 == pytest.approx(
+            capacity_with_sic(channel, 1e-9, 1e-10), rel=1e-12)

@@ -1,0 +1,179 @@
+"""Discrete-rate scenario tests (paper Section 7, Fig. 14b)."""
+
+import math
+
+import pytest
+
+from repro.sic.discrete import (
+    DiscretePairRates,
+    DiscretePairScenario,
+    discrete_packing_gain,
+    evaluate_discrete_pair,
+)
+from repro.sic.scenarios import PairCase, PairRss
+
+L = 12_000.0
+
+
+def case_b_rss():
+    return PairRss(s11=1e-9, s12=1e-10, s21=5e-9, s22=1e-10)
+
+
+def mbps(x):
+    return x * 1e6
+
+
+class TestEvaluateDiscretePair:
+    def test_case_a_no_gain(self):
+        rss = PairRss(s11=1e-9, s12=1e-11, s21=1e-11, s22=1e-9)
+        rates = DiscretePairRates(mbps(54), mbps(54), mbps(24), mbps(6),
+                                  mbps(24), mbps(6))
+        scenario = evaluate_discrete_pair(L, rss, rates)
+        assert scenario.case is PairCase.BOTH_CAPTURE
+        assert scenario.gain == 1.0
+
+    def test_case_b_feasible_when_rates_allow(self):
+        # T1 picks 12 Mbps under interference at R1; R2 can decode T1
+        # at up to 18 Mbps, so SIC is feasible.
+        rates = DiscretePairRates(
+            clean_1=mbps(54), clean_2=mbps(24),
+            interfered_11=mbps(12), interfered_21=mbps(18),
+            interfered_22=mbps(6), interfered_12=mbps(6))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert scenario.case is PairCase.SIC_AT_R2
+        assert scenario.sic_feasible
+
+    def test_case_b_equal_bins_feasible(self):
+        # Discrete slack: equality of rate bins suffices — the
+        # continuous analysis would call this infeasible.
+        rates = DiscretePairRates(
+            clean_1=mbps(54), clean_2=mbps(24),
+            interfered_11=mbps(12), interfered_21=mbps(12),
+            interfered_22=mbps(6), interfered_12=mbps(6))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert scenario.sic_feasible
+
+    def test_case_b_infeasible_when_undecodable(self):
+        rates = DiscretePairRates(
+            clean_1=mbps(54), clean_2=mbps(24),
+            interfered_11=mbps(24), interfered_21=mbps(12),
+            interfered_22=mbps(6), interfered_12=mbps(6))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert not scenario.sic_feasible
+        assert scenario.gain == 1.0
+
+    def test_dead_link_infeasible(self):
+        rates = DiscretePairRates(
+            clean_1=mbps(54), clean_2=mbps(24),
+            interfered_11=0.0, interfered_21=mbps(12),
+            interfered_22=mbps(6), interfered_12=mbps(6))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert not scenario.sic_feasible
+
+    def test_times_use_measured_rates(self):
+        rates = DiscretePairRates(
+            clean_1=mbps(54), clean_2=mbps(24),
+            interfered_11=mbps(12), interfered_21=mbps(18),
+            interfered_22=mbps(6), interfered_12=mbps(6))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert scenario.z_serial_s == pytest.approx(
+            L / mbps(54) + L / mbps(24))
+        assert scenario.z_sic_s == pytest.approx(
+            max(L / mbps(12), L / mbps(24)))
+
+    def test_case_c_mirrors_b(self):
+        rss_b = case_b_rss()
+        rss_c = PairRss(s11=rss_b.s22, s12=rss_b.s21,
+                        s21=rss_b.s12, s22=rss_b.s11)
+        rates_b = DiscretePairRates(
+            clean_1=mbps(54), clean_2=mbps(24),
+            interfered_11=mbps(12), interfered_21=mbps(18),
+            interfered_22=mbps(6), interfered_12=mbps(6))
+        rates_c = DiscretePairRates(
+            clean_1=mbps(24), clean_2=mbps(54),
+            interfered_11=mbps(6), interfered_21=mbps(6),
+            interfered_22=mbps(12), interfered_12=mbps(18))
+        scenario_b = evaluate_discrete_pair(L, rss_b, rates_b)
+        scenario_c = evaluate_discrete_pair(L, rss_c, rates_c)
+        assert scenario_c.case is PairCase.SIC_AT_R1
+        assert scenario_c.sic_feasible == scenario_b.sic_feasible
+        assert scenario_c.gain == pytest.approx(scenario_b.gain)
+
+    def test_case_d_requires_both(self):
+        rss = PairRss(s11=1e-11, s12=1e-8, s21=1e-8, s22=1e-11)
+        rates_ok = DiscretePairRates(
+            clean_1=mbps(6), clean_2=mbps(6),
+            interfered_11=mbps(6), interfered_21=mbps(9),
+            interfered_22=mbps(6), interfered_12=mbps(9))
+        assert evaluate_discrete_pair(L, rss, rates_ok).sic_feasible
+        rates_bad = DiscretePairRates(
+            clean_1=mbps(6), clean_2=mbps(6),
+            interfered_11=mbps(6), interfered_21=mbps(9),
+            interfered_22=mbps(6), interfered_12=0.0)
+        assert not evaluate_discrete_pair(L, rss, rates_bad).sic_feasible
+
+    def test_gain_clipped_at_one(self):
+        # Feasible but SIC slower than serial: gain reported as 1.
+        rates = DiscretePairRates(
+            clean_1=mbps(54), clean_2=mbps(54),
+            interfered_11=mbps(6), interfered_21=mbps(6),
+            interfered_22=mbps(6), interfered_12=mbps(6))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert scenario.sic_feasible
+        assert scenario.gain == 1.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            DiscretePairRates(-1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestDiscretePacking:
+    def make(self, **kwargs):
+        defaults = dict(clean_1=mbps(54), clean_2=mbps(24),
+                        interfered_11=mbps(12), interfered_21=mbps(18),
+                        interfered_22=mbps(6), interfered_12=mbps(6))
+        defaults.update(kwargs)
+        return DiscretePairRates(**defaults)
+
+    def test_packing_at_least_plain_gain(self):
+        rates = self.make()
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert discrete_packing_gain(L, scenario, rates) >= scenario.gain
+
+    def test_packing_rescues_strictly_infeasible_scenario(self):
+        # interfered_11 > interfered_21 makes plain SIC infeasible, but
+        # T1 can drop to interfered_21 and let T2 pack packets.
+        rates = self.make(interfered_11=mbps(24), interfered_21=mbps(12))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert not scenario.sic_feasible
+        gain = discrete_packing_gain(L, scenario, rates)
+        assert gain > 1.0
+
+    def test_packing_never_below_one(self):
+        rates = self.make(interfered_11=mbps(6), interfered_21=mbps(6))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert discrete_packing_gain(L, scenario, rates) >= 1.0
+
+    def test_no_packing_in_case_a(self):
+        rss = PairRss(s11=1e-9, s12=1e-11, s21=1e-11, s22=1e-9)
+        rates = self.make()
+        scenario = evaluate_discrete_pair(L, rss, rates)
+        assert discrete_packing_gain(L, scenario, rates) == scenario.gain
+
+    def test_dead_links_fall_back(self):
+        rates = self.make(interfered_21=0.0)
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        assert discrete_packing_gain(L, scenario, rates) == scenario.gain
+
+    def test_free_concurrency_reaches_high_gain(self):
+        # Discrete slack absorbs the interference entirely: both links
+        # keep their clean rates, so packing k packets approaches the
+        # serial time of the same mix over the slow packet alone.
+        rates = self.make(clean_1=mbps(6), clean_2=mbps(54),
+                          interfered_11=mbps(6), interfered_21=mbps(6),
+                          interfered_22=mbps(54))
+        scenario = evaluate_discrete_pair(L, case_b_rss(), rates)
+        gain = discrete_packing_gain(L, scenario, rates)
+        # slow 6 Mbps packet shelters 8 packets at 54 Mbps.
+        expected = (L / mbps(6) + 8 * L / mbps(54)) / (L / mbps(6))
+        assert gain == pytest.approx(expected)

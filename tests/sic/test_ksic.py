@@ -1,0 +1,172 @@
+"""k-signal successive cancellation tests (the paper's extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel, shannon_rate
+from repro.sic.ksic import (
+    SuccessiveReceiver,
+    capacity_with_ksic,
+    equal_rate_group_powers,
+    ksic_uplink_gain,
+    successive_rate_limits,
+    z_ksic_uplink,
+    z_serial_uplink,
+)
+from repro.sic.receiver import SicReceiver, Transmission
+
+L = 12_000.0
+power_lists = st.lists(st.floats(min_value=1e-13, max_value=1e-5),
+                       min_size=1, max_size=6)
+
+
+class TestRateLimits:
+    def test_empty(self, channel):
+        assert successive_rate_limits(channel, []) == []
+
+    def test_single_signal_is_clean(self, channel):
+        (rate,) = successive_rate_limits(channel, [1e-9])
+        assert rate == pytest.approx(channel.rate(1e-9))
+
+    def test_two_signals_match_pair_receiver(self, channel):
+        # k = 2 must reduce exactly to the paper's two-signal model.
+        receiver = SicReceiver(channel=channel)
+        rates = successive_rate_limits(channel, [1e-9, 1e-11])
+        assert rates[0] == pytest.approx(
+            receiver.strong_rate_limit(1e-9, 1e-11))
+        assert rates[1] == pytest.approx(
+            receiver.weak_rate_limit(1e-9, 1e-11))
+
+    def test_input_order_preserved(self, channel):
+        rates_fwd = successive_rate_limits(channel, [1e-11, 1e-9])
+        rates_rev = successive_rate_limits(channel, [1e-9, 1e-11])
+        assert rates_fwd[0] == pytest.approx(rates_rev[1])
+        assert rates_fwd[1] == pytest.approx(rates_rev[0])
+
+    @settings(max_examples=60, deadline=None)
+    @given(power_lists)
+    def test_telescoping_identity(self, powers):
+        # sum of successive rates == capacity of a single transmitter
+        # at the summed power (the k-user Eq. 4 identity).
+        channel = Channel()
+        total = capacity_with_ksic(channel, powers)
+        closed = shannon_rate(channel.bandwidth_hz, sum(powers), 0.0,
+                              channel.noise_w)
+        assert total == pytest.approx(closed, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(power_lists)
+    def test_imperfection_only_hurts(self, powers):
+        channel = Channel()
+        perfect = capacity_with_ksic(channel, powers, 1.0)
+        lossy = capacity_with_ksic(channel, powers, 0.9)
+        assert lossy <= perfect + 1e-6
+
+    def test_rejects_nonpositive_power(self, channel):
+        with pytest.raises(ValueError):
+            successive_rate_limits(channel, [1e-9, 0.0])
+
+
+class TestUplinkTimes:
+    def test_empty_group(self, channel):
+        assert z_ksic_uplink(channel, L, []) == 0.0
+
+    def test_two_signals_match_eq6(self, channel):
+        from repro.sic.airtime import z_sic_same_receiver
+        assert z_ksic_uplink(channel, L, [1e-9, 1e-11]) == pytest.approx(
+            z_sic_same_receiver(channel, L, 1e-9, 1e-11))
+
+    def test_serial_is_sum(self, channel):
+        z = z_serial_uplink(channel, L, [1e-9, 1e-10])
+        assert z == pytest.approx(L / channel.rate(1e-9)
+                                  + L / channel.rate(1e-10))
+
+    @settings(max_examples=40, deadline=None)
+    @given(power_lists)
+    def test_gain_bounds(self, powers):
+        channel = Channel()
+        gain = ksic_uplink_gain(channel, L, powers)
+        assert 1.0 <= gain <= len(powers) + 1e-9
+
+
+class TestEqualRateLadder:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_all_rates_equal(self, channel, count):
+        powers = equal_rate_group_powers(channel, count, 10.0)
+        rates = successive_rate_limits(channel, powers)
+        for rate in rates[1:]:
+            assert rate == pytest.approx(rates[0], rel=1e-9)
+
+    def test_strongest_first(self, channel):
+        powers = equal_rate_group_powers(channel, 4, 5.0)
+        assert powers == sorted(powers, reverse=True)
+
+    def test_k2_matches_pair_closed_form(self, channel):
+        from repro.techniques.power_control import equal_rate_weak_rss
+        strong, weak = equal_rate_group_powers(channel, 2, 10.0)
+        assert weak == pytest.approx(10.0 * channel.noise_w)
+        # The pair closed form inverts: given this strong RSS, the
+        # equal-rate weak RSS is our weak level.
+        assert equal_rate_weak_rss(channel, strong) == pytest.approx(
+            weak, rel=1e-9)
+
+    def test_gain_approaches_k(self, channel):
+        # At low SNR the ladder's group gain approaches the group size.
+        powers = equal_rate_group_powers(channel, 3, 0.05)
+        gain = ksic_uplink_gain(channel, L, powers)
+        assert gain > 2.5
+
+    def test_rejects_bad_count(self, channel):
+        with pytest.raises(ValueError):
+            equal_rate_group_powers(channel, 0, 1.0)
+
+
+class TestSuccessiveReceiver:
+    def make_group(self, channel, count=3):
+        powers = equal_rate_group_powers(channel, count, 10.0)
+        rates = successive_rate_limits(channel, powers)
+        return [Transmission(p, r, f"t{i}")
+                for i, (p, r) in enumerate(zip(powers, rates))]
+
+    def test_decodes_full_ladder(self, channel):
+        receiver = SuccessiveReceiver(channel=channel)
+        outcome = receiver.resolve(self.make_group(channel))
+        assert outcome.all_decoded
+        assert outcome.decode_order == ("t0", "t1", "t2")
+
+    def test_empty(self, channel):
+        outcome = SuccessiveReceiver(channel=channel).resolve([])
+        assert outcome.decoded == ()
+        assert not outcome.all_decoded
+
+    def test_cancellation_cap(self, channel):
+        receiver = SuccessiveReceiver(channel=channel, max_cancellations=1)
+        outcome = receiver.resolve(self.make_group(channel, 3))
+        assert outcome.decoded_count == 2  # the paper's receiver
+
+    def test_zero_cancellations_is_capture_only(self, channel):
+        receiver = SuccessiveReceiver(channel=channel, max_cancellations=0)
+        outcome = receiver.resolve(self.make_group(channel, 3))
+        assert outcome.decoded_count == 1
+
+    def test_chain_aborts_at_first_failure(self, channel):
+        group = self.make_group(channel, 3)
+        # Overdrive the middle (second-strongest) signal's rate.
+        broken = [group[0],
+                  Transmission(group[1].power_w, group[1].rate_bps * 1.2,
+                               "t1"),
+                  group[2]]
+        outcome = SuccessiveReceiver(channel=channel).resolve(broken)
+        assert outcome.decoded == (True, False, False)
+
+    def test_imperfect_residue_breaks_deep_layers(self, channel):
+        group = self.make_group(channel, 3)
+        lossy = SuccessiveReceiver(channel=channel,
+                                   cancellation_efficiency=0.9)
+        outcome = lossy.resolve(group)
+        assert not outcome.all_decoded
+
+    def test_rejects_negative_cap(self, channel):
+        with pytest.raises(ValueError):
+            SuccessiveReceiver(channel=channel, max_cancellations=-1)

@@ -1,0 +1,158 @@
+"""SIC receiver model tests (paper Section 2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.receiver import SicReceiver, Transmission
+
+power = st.floats(min_value=1e-13, max_value=1e-5)
+
+
+@pytest.fixture
+def receiver(channel):
+    return SicReceiver(channel=channel)
+
+
+class TestRateLimits:
+    def test_eq1_matches_channel(self, receiver, channel):
+        assert receiver.strong_rate_limit(1e-9, 1e-10) == pytest.approx(
+            channel.rate(1e-9, 1e-10))
+
+    def test_eq2_perfect_cancellation(self, receiver, channel):
+        assert receiver.weak_rate_limit(1e-9, 1e-10) == pytest.approx(
+            channel.rate(1e-10, 0.0))
+
+    def test_imperfect_cancellation_residue(self, channel):
+        rx = SicReceiver(channel=channel, cancellation_efficiency=0.99)
+        residue = rx.residual_power_w(1e-9)
+        assert residue == pytest.approx(1e-11)
+        assert rx.weak_rate_limit(1e-9, 1e-10) == pytest.approx(
+            channel.rate(1e-10, residue))
+
+    def test_imperfection_lowers_weak_limit(self, channel):
+        perfect = SicReceiver(channel=channel)
+        imperfect = SicReceiver(channel=channel,
+                                cancellation_efficiency=0.9)
+        assert imperfect.weak_rate_limit(1e-9, 1e-10) < \
+            perfect.weak_rate_limit(1e-9, 1e-10)
+
+    def test_bad_efficiency_rejected(self, channel):
+        with pytest.raises(ValueError):
+            SicReceiver(channel=channel, cancellation_efficiency=1.5)
+
+    def test_feasible_rate_pair_order(self, receiver):
+        rate_a, rate_b = receiver.feasible_rate_pair(1e-9, 1e-10)
+        assert rate_a == receiver.strong_rate_limit(1e-9, 1e-10)
+        assert rate_b == receiver.weak_rate_limit(1e-9, 1e-10)
+        # Reversed argument order returns the same limits swapped.
+        rate_b2, rate_a2 = receiver.feasible_rate_pair(1e-10, 1e-9)
+        assert (rate_a2, rate_b2) == (rate_a, rate_b)
+
+    @given(power, power)
+    def test_weak_can_outrate_strong(self, a, b):
+        # The paper's "interesting" observation: the stronger signal's
+        # feasible rate may be LOWER than the weaker one's.
+        rx = SicReceiver(channel=Channel(bandwidth_hz=1e6, noise_w=1e-13))
+        strong, weak = max(a, b), min(a, b)
+        limit_strong = rx.strong_rate_limit(strong, weak)
+        limit_weak = rx.weak_rate_limit(strong, weak)
+        # Not an inequality that always holds; just check both positive
+        # and that similar powers produce the inversion.
+        assert limit_strong > 0 and limit_weak > 0
+        if weak > 0.5 * strong and strong / rx.channel.noise_w > 10:
+            assert limit_strong < limit_weak
+
+
+class TestDecoding:
+    def test_single_clean_decode(self, receiver, channel):
+        limit = channel.rate(1e-10)
+        assert receiver.decode_single(Transmission(1e-10, limit * 0.99))
+        assert not receiver.decode_single(Transmission(1e-10, limit * 1.01))
+
+    def test_single_with_interference(self, receiver, channel):
+        limit = channel.rate(1e-10, 1e-11)
+        tx = Transmission(1e-10, limit * 0.99)
+        assert receiver.decode_single(tx, interference_w=1e-11)
+
+    def test_collision_both_at_limits_decode(self, receiver):
+        strong_limit = receiver.strong_rate_limit(1e-9, 1e-10)
+        weak_limit = receiver.weak_rate_limit(1e-9, 1e-10)
+        outcome = receiver.resolve_collision(
+            Transmission(1e-9, strong_limit, "s"),
+            Transmission(1e-10, weak_limit, "w"))
+        assert outcome.collision_resolved
+        assert outcome.strong.label == "s"
+        assert outcome.weak.label == "w"
+
+    def test_strong_too_fast_kills_both(self, receiver):
+        # "If T1 transmits at a rate higher than r1, it can not be
+        # decoded ... consequently it can not decode T2's signal either"
+        strong_limit = receiver.strong_rate_limit(1e-9, 1e-10)
+        outcome = receiver.resolve_collision(
+            Transmission(1e-9, strong_limit * 1.01, "s"),
+            Transmission(1e-10, 1e3, "w"))
+        assert not outcome.decoded_strong
+        assert not outcome.decoded_weak
+
+    def test_weak_too_fast_only_strong_decodes(self, receiver):
+        strong_limit = receiver.strong_rate_limit(1e-9, 1e-10)
+        weak_limit = receiver.weak_rate_limit(1e-9, 1e-10)
+        outcome = receiver.resolve_collision(
+            Transmission(1e-9, strong_limit, "s"),
+            Transmission(1e-10, weak_limit * 1.01, "w"))
+        assert outcome.decoded_strong
+        assert not outcome.decoded_weak
+        assert outcome.decoded_count == 1
+
+    def test_sic_disabled_never_decodes_weak(self, channel):
+        rx = SicReceiver(channel=channel, sic_enabled=False)
+        strong_limit = rx.strong_rate_limit(1e-9, 1e-10)
+        outcome = rx.resolve_collision(
+            Transmission(1e-9, strong_limit, "s"),
+            Transmission(1e-10, 1.0, "w"))
+        assert outcome.decoded_strong
+        assert not outcome.decoded_weak
+
+    def test_argument_order_irrelevant(self, receiver):
+        strong_limit = receiver.strong_rate_limit(1e-9, 1e-10)
+        weak_limit = receiver.weak_rate_limit(1e-9, 1e-10)
+        a = Transmission(1e-9, strong_limit, "s")
+        b = Transmission(1e-10, weak_limit, "w")
+        assert receiver.resolve_collision(a, b).collision_resolved
+        assert receiver.resolve_collision(b, a).collision_resolved
+
+    def test_can_resolve_both_helper(self, receiver):
+        strong_limit = receiver.strong_rate_limit(1e-9, 1e-10)
+        weak_limit = receiver.weak_rate_limit(1e-9, 1e-10)
+        assert receiver.can_resolve_both(1e-9, strong_limit,
+                                         1e-10, weak_limit)
+        assert not receiver.can_resolve_both(1e-9, strong_limit * 2,
+                                             1e-10, weak_limit)
+
+    def test_equal_powers_low_rate_resolves(self, receiver):
+        # At exactly equal powers the Eq. 1 SINR is ~1 (rate ~ B), so
+        # slow enough transmissions still decode.
+        rate = receiver.strong_rate_limit(1e-10, 1e-10)
+        outcome = receiver.resolve_collision(
+            Transmission(1e-10, rate, "a"),
+            Transmission(1e-10, rate, "b"))
+        assert outcome.decoded_strong
+
+    @given(power, power)
+    def test_outcome_labels_track_power(self, a, b):
+        rx = SicReceiver(channel=Channel())
+        outcome = rx.resolve_collision(Transmission(a, 1.0, "a"),
+                                       Transmission(b, 1.0, "b"))
+        assert outcome.strong.power_w >= outcome.weak.power_w
+
+
+class TestTransmission:
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            Transmission(0.0, 1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Transmission(1.0, 0.0)

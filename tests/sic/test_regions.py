@@ -1,0 +1,123 @@
+"""Two-user rate-region tests (Fig. 2's pentagon vs TDMA triangle)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.capacity import capacity_with_sic, rate_region_corners
+from repro.sic.regions import TwoUserRegion, two_user_region
+
+power = st.floats(min_value=1e-13, max_value=1e-5)
+
+
+@pytest.fixture
+def region(channel):
+    return two_user_region(channel, 1e-9, 1e-10)
+
+
+class TestConstruction:
+    def test_capacities_match_channel(self, channel, region):
+        assert region.c1 == pytest.approx(channel.rate(1e-9))
+        assert region.c2 == pytest.approx(channel.rate(1e-10))
+        assert region.c_sum == pytest.approx(channel.rate(1.1e-9))
+
+    def test_sum_capacity_equals_eq4(self, channel, region):
+        assert region.c_sum == pytest.approx(
+            capacity_with_sic(channel, 1e-9, 1e-10), rel=1e-12)
+
+    def test_inconsistent_region_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            TwoUserRegion(c1=10.0, c2=10.0, c_sum=25.0)
+        with pytest.raises(ValueError, match="inconsistent"):
+            TwoUserRegion(c1=10.0, c2=10.0, c_sum=9.0)
+
+
+class TestGeometry:
+    def test_pentagon_has_five_vertices(self, region):
+        assert len(region.pentagon_vertices()) == 5
+
+    def test_corners_match_decode_orders(self, channel, region):
+        corners = rate_region_corners(channel, 1e-9, 1e-10)
+        vertices = region.pentagon_vertices()
+        corner_a = vertices[2]   # transmitter 2 decoded first
+        corner_b = vertices[3]   # transmitter 1 decoded first
+        assert corner_b[0] == pytest.approx(corners["1-first"][0], rel=1e-9)
+        assert corner_b[1] == pytest.approx(corners["1-first"][1], rel=1e-9)
+        assert corner_a[0] == pytest.approx(corners["2-first"][0], rel=1e-9)
+        assert corner_a[1] == pytest.approx(corners["2-first"][1], rel=1e-9)
+
+    def test_corners_on_sum_rate_face(self, region):
+        vertices = region.pentagon_vertices()
+        for corner in (vertices[2], vertices[3]):
+            assert sum(corner) == pytest.approx(region.c_sum, rel=1e-12)
+
+    def test_dominant_face_interpolates_corners(self, region):
+        face = region.dominant_face(n_points=5)
+        assert len(face) == 5
+        for point in face:
+            assert sum(point) == pytest.approx(region.c_sum, rel=1e-9)
+
+    def test_dominant_face_needs_two_points(self, region):
+        with pytest.raises(ValueError):
+            region.dominant_face(n_points=1)
+
+
+class TestMembership:
+    def test_corners_achievable(self, region):
+        for (r1, r2) in region.pentagon_vertices():
+            assert region.contains(r1, r2)
+
+    def test_beyond_sum_rate_rejected(self, region):
+        assert not region.contains(region.c1, region.c2)
+
+    def test_tdma_midpoint(self, region):
+        assert region.tdma_contains(region.c1 / 2, region.c2 / 2)
+        assert not region.tdma_contains(region.c1 * 0.7, region.c2 * 0.7)
+
+    @settings(max_examples=60, deadline=None)
+    @given(power, power, st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_sic_region_contains_tdma_region(self, s1, s2, alpha, beta):
+        region = two_user_region(Channel(), s1, s2)
+        # Any TDMA point (time share alpha of C1 with beta-scaling).
+        r1 = alpha * region.c1 * beta
+        r2 = (1.0 - alpha) * region.c2 * beta
+        assert region.tdma_contains(r1, r2)
+        assert region.contains(r1, r2)
+
+    def test_rejects_negative_rates(self, region):
+        with pytest.raises(ValueError):
+            region.contains(-1.0, 0.0)
+
+
+class TestAreas:
+    @settings(max_examples=60, deadline=None)
+    @given(power, power)
+    def test_area_advantage_at_least_one(self, s1, s2):
+        region = two_user_region(Channel(), s1, s2)
+        assert region.area_advantage >= 1.0 - 1e-9
+
+    def test_advantage_larger_at_low_snr(self, channel):
+        n0 = channel.noise_w
+        low = two_user_region(channel, 2 * n0, 2 * n0)
+        high = two_user_region(channel, 1e5 * n0, 1e5 * n0)
+        assert low.area_advantage > high.area_advantage
+
+    def test_triangle_area_formula(self, region):
+        assert region.tdma_area == pytest.approx(
+            region.c1 * region.c2 / 2.0, rel=1e-12)
+
+
+class TestEqualRates:
+    def test_sic_symmetric_rate_beats_tdma(self, region):
+        assert region.max_equal_rate() >= region.tdma_max_equal_rate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(power, power)
+    def test_symmetric_points_achievable(self, s1, s2):
+        region = two_user_region(Channel(), s1, s2)
+        r = region.max_equal_rate()
+        assert region.contains(r, r)
+        r_tdma = region.tdma_max_equal_rate()
+        assert region.tdma_contains(r_tdma, r_tdma)

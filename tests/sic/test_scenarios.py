@@ -1,0 +1,150 @@
+"""Two-pair scenario taxonomy tests (paper Section 3.2, Fig. 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.scenarios import (
+    PairCase,
+    PairRss,
+    classify_pair_case,
+    evaluate_pair_scenario,
+)
+
+L = 12_000.0
+power = st.floats(min_value=1e-13, max_value=1e-6)
+
+
+def rss_case_a():
+    return PairRss(s11=1e-9, s12=1e-11, s21=1e-11, s22=1e-9)
+
+
+def rss_case_b(channel=None):
+    # R1 captures T1; at R2, T1's signal dominates T2's.
+    return PairRss(s11=1e-9, s12=1e-10, s21=5e-9, s22=1e-10)
+
+
+def rss_case_d():
+    # Each receiver is dominated by the *other* transmitter.
+    return PairRss(s11=1e-11, s12=1e-8, s21=1e-8, s22=1e-11)
+
+
+class TestClassification:
+    def test_case_a(self):
+        assert classify_pair_case(rss_case_a()) is PairCase.BOTH_CAPTURE
+
+    def test_case_b(self):
+        assert classify_pair_case(rss_case_b()) is PairCase.SIC_AT_R2
+
+    def test_case_c_is_mirror_of_b(self):
+        b = rss_case_b()
+        c = PairRss(s11=b.s22, s12=b.s21, s21=b.s12, s22=b.s11)
+        assert classify_pair_case(c) is PairCase.SIC_AT_R1
+
+    def test_case_d(self):
+        assert classify_pair_case(rss_case_d()) is PairCase.SIC_AT_BOTH
+
+    def test_rejects_nonpositive_rss(self):
+        with pytest.raises(ValueError):
+            PairRss(s11=0.0, s12=1.0, s21=1.0, s22=1.0)
+
+
+class TestCaseA:
+    def test_no_sic_gain(self, channel):
+        scenario = evaluate_pair_scenario(channel, L, rss_case_a())
+        assert scenario.case is PairCase.BOTH_CAPTURE
+        assert not scenario.sic_feasible
+        assert scenario.gain == 1.0
+
+    def test_serial_time_is_clean_sum(self, channel):
+        scenario = evaluate_pair_scenario(channel, L, rss_case_a())
+        expected = L / channel.rate(1e-9) + L / channel.rate(1e-9)
+        assert scenario.z_serial_s == pytest.approx(expected)
+
+
+class TestCaseB:
+    def test_feasibility_condition(self, channel):
+        # Feasible iff S21/(S22+N0) > S11/(S12+N0).
+        rss = rss_case_b()
+        scenario = evaluate_pair_scenario(channel, L, rss)
+        n0 = channel.noise_w
+        expected = rss.s21 / (rss.s22 + n0) > rss.s11 / (rss.s12 + n0)
+        assert scenario.sic_feasible == expected
+
+    def test_z_sic_is_eq7(self, channel):
+        rss = rss_case_b()
+        scenario = evaluate_pair_scenario(channel, L, rss)
+        t1 = L / channel.rate(rss.s11, rss.s12)
+        t2 = L / channel.rate(rss.s22)
+        assert scenario.z_sic_s == pytest.approx(max(t1, t2))
+
+    def test_infeasible_when_interferer_far(self, channel):
+        # T1 weak at R2: R2 cannot decode it at T1's chosen rate.
+        rss = PairRss(s11=1e-9, s12=1e-10, s21=1.1e-10, s22=1e-10)
+        scenario = evaluate_pair_scenario(channel, L, rss)
+        assert scenario.case is PairCase.SIC_AT_R2
+        assert not scenario.sic_feasible
+        assert scenario.gain == 1.0
+
+
+class TestCaseCMirrors:
+    def test_case_c_equals_mirrored_case_b(self, channel):
+        b = rss_case_b()
+        c = PairRss(s11=b.s22, s12=b.s21, s21=b.s12, s22=b.s11)
+        scenario_b = evaluate_pair_scenario(channel, L, b)
+        scenario_c = evaluate_pair_scenario(channel, L, c)
+        assert scenario_c.case is PairCase.SIC_AT_R1
+        assert scenario_c.sic_feasible == scenario_b.sic_feasible
+        assert scenario_c.z_sic_s == pytest.approx(scenario_b.z_sic_s)
+        assert scenario_c.z_serial_s == pytest.approx(scenario_b.z_serial_s)
+
+
+class TestCaseD:
+    def test_both_conditions_required(self, channel):
+        rss = rss_case_d()
+        scenario = evaluate_pair_scenario(channel, L, rss)
+        n0 = channel.noise_w
+        feasible_r2 = rss.s21 / (rss.s22 + n0) > rss.s11 / n0
+        feasible_r1 = rss.s12 / (rss.s11 + n0) > rss.s22 / n0
+        assert scenario.sic_feasible == (feasible_r1 and feasible_r2)
+
+    def test_z_sic_is_eq9(self, channel):
+        rss = rss_case_d()
+        scenario = evaluate_pair_scenario(channel, L, rss)
+        t1 = L / channel.rate(rss.s11)
+        t2 = L / channel.rate(rss.s22)
+        assert scenario.z_sic_s == pytest.approx(max(t1, t2))
+
+    def test_feasible_case_d_always_gains(self, channel):
+        # Eq. 9's max is strictly below Eq. 8's sum.
+        rss = rss_case_d()
+        scenario = evaluate_pair_scenario(channel, L, rss)
+        if scenario.sic_feasible:
+            assert scenario.gain > 1.0
+
+
+class TestGainProperties:
+    @given(power, power, power, power)
+    def test_gain_never_below_one(self, s11, s12, s21, s22):
+        channel = Channel()
+        scenario = evaluate_pair_scenario(
+            channel, L, PairRss(s11, s12, s21, s22))
+        assert scenario.gain >= 1.0
+
+    @given(power, power, power, power)
+    def test_gain_bounded_by_two(self, s11, s12, s21, s22):
+        # Z+SIC >= max individual airtime >= Z-SIC / 2.
+        channel = Channel()
+        scenario = evaluate_pair_scenario(
+            channel, L, PairRss(s11, s12, s21, s22))
+        assert scenario.gain <= 2.0 + 1e-9
+
+    @given(power, power, power, power)
+    def test_symmetry_under_pair_swap(self, s11, s12, s21, s22):
+        channel = Channel()
+        original = evaluate_pair_scenario(
+            channel, L, PairRss(s11, s12, s21, s22))
+        swapped = evaluate_pair_scenario(
+            channel, L, PairRss(s22, s21, s12, s11))
+        assert original.gain == pytest.approx(swapped.gain, rel=1e-9)

@@ -1,0 +1,104 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.sim.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule_at(2.0, lambda: fired.append("b"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.schedule_at(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append("first"))
+        engine.schedule_at(1.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances(self):
+        engine = EventScheduler()
+        seen = []
+        engine.schedule_at(5.0, lambda: seen.append(engine.now_s))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now_s == 5.0
+
+    def test_schedule_after(self):
+        engine = EventScheduler()
+        seen = []
+        engine.schedule_at(2.0, lambda: engine.schedule_after(
+            3.0, lambda: seen.append(engine.now_s)))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_into_past(self):
+        engine = EventScheduler()
+        engine.schedule_at(5.0, lambda: None)
+        engine.step()
+        with pytest.raises(ValueError, match="past"):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = EventScheduler()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_pending_count_ignores_cancelled(self):
+        engine = EventScheduler()
+        keep = engine.schedule_at(1.0, lambda: None)
+        drop = engine.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending_count == 1
+
+
+class TestRun:
+    def test_run_until_stops_clock(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(10.0, lambda: fired.append(10))
+        now = engine.run(until_s=5.0)
+        assert fired == [1]
+        assert now == 5.0
+
+    def test_run_returns_final_time(self):
+        engine = EventScheduler()
+        engine.schedule_at(7.0, lambda: None)
+        assert engine.run() == 7.0
+
+    def test_event_budget_guards_loops(self):
+        engine = EventScheduler()
+
+        def reschedule():
+            engine.schedule_after(0.0, reschedule)
+
+        engine.schedule_at(0.0, reschedule)
+        with pytest.raises(RuntimeError, match="budget"):
+            engine.run(max_events=100)
+
+    def test_processed_count(self):
+        engine = EventScheduler()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda: None)
+        engine.run()
+        assert engine.processed_count == 3
+
+    def test_step_on_empty_returns_none(self):
+        assert EventScheduler().step() is None

@@ -1,0 +1,63 @@
+"""Simulation-metrics tests."""
+
+import pytest
+
+from repro.sim.metrics import PacketRecord, SimulationMetrics
+
+
+def packet(client="a", start=0.0, end=1.0, rate=1e6, bits=1e6,
+           decoded=True, concurrent=()):
+    return PacketRecord(client=client, start_s=start, end_s=end,
+                        rate_bps=rate, bits=bits, decoded=decoded,
+                        concurrent_with=tuple(concurrent))
+
+
+class TestPacketRecord:
+    def test_airtime(self):
+        assert packet(start=1.0, end=3.5).airtime_s == 2.5
+
+
+class TestSimulationMetrics:
+    def test_empty(self):
+        metrics = SimulationMetrics()
+        assert metrics.completion_time_s == 0.0
+        assert metrics.throughput_bps == 0.0
+        assert not metrics.all_decoded
+
+    def test_completion_time_is_last_end(self):
+        metrics = SimulationMetrics()
+        metrics.record(packet(end=2.0))
+        metrics.record(packet(client="b", end=5.0))
+        assert metrics.completion_time_s == 5.0
+
+    def test_delivered_bits_excludes_failures(self):
+        metrics = SimulationMetrics()
+        metrics.record(packet(bits=100.0))
+        metrics.record(packet(client="b", bits=50.0, decoded=False))
+        assert metrics.delivered_bits == 100.0
+        assert metrics.failed_count == 1
+        assert not metrics.all_decoded
+
+    def test_throughput(self):
+        metrics = SimulationMetrics()
+        metrics.record(packet(bits=1000.0, end=2.0))
+        assert metrics.throughput_bps == 500.0
+
+    def test_per_client_accumulates(self):
+        metrics = SimulationMetrics()
+        metrics.record(packet(client="a", start=0, end=1, bits=10))
+        metrics.record(packet(client="a", start=1, end=3, bits=20))
+        metrics.record(packet(client="b", start=0, end=1, bits=5,
+                              decoded=False))
+        stats = metrics.per_client()
+        assert stats["a"]["airtime_s"] == 3.0
+        assert stats["a"]["bits"] == 30.0
+        assert stats["a"]["packets"] == 2.0
+        assert stats["b"]["failed"] == 1.0
+        assert stats["b"]["bits"] == 0.0
+
+    def test_concurrency_fraction(self):
+        metrics = SimulationMetrics()
+        metrics.record(packet(concurrent=("b",)))
+        metrics.record(packet(client="b"))
+        assert metrics.concurrency_fraction() == 0.5

@@ -1,0 +1,87 @@
+"""MAC-overhead model tests."""
+
+import pytest
+
+from repro.scheduling.scheduler import SicScheduler, UploadClient
+from repro.sim.overhead import (
+    DOT11G_OVERHEADS,
+    NO_OVERHEADS,
+    MacOverheads,
+    apply_overheads,
+)
+from repro.techniques.pairing import TechniqueSet
+
+
+def make_clients(channel, snrs_db):
+    n0 = channel.noise_w
+    return [UploadClient(f"C{i + 1}", 10 ** (snr / 10) * n0)
+            for i, snr in enumerate(snrs_db)]
+
+
+class TestMacOverheads:
+    def test_defaults_positive(self):
+        assert DOT11G_OVERHEADS.per_access_s > 0
+        assert DOT11G_OVERHEADS.per_packet_s > 0
+
+    def test_no_overheads_is_zero(self):
+        assert NO_OVERHEADS.slot_overhead_s(5) == 0.0
+
+    def test_slot_overhead_composition(self):
+        oh = MacOverheads(difs_s=10e-6, mean_backoff_s=0.0,
+                          phy_preamble_s=0.0, sifs_s=1e-6, ack_s=2e-6)
+        assert oh.slot_overhead_s(1) == pytest.approx(13e-6)
+        assert oh.slot_overhead_s(2) == pytest.approx(16e-6)
+
+    def test_empty_slot_free(self):
+        assert DOT11G_OVERHEADS.slot_overhead_s(0) == 0.0
+
+    def test_rejects_negative_packets(self):
+        with pytest.raises(ValueError):
+            DOT11G_OVERHEADS.slot_overhead_s(-1)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            MacOverheads(difs_s=-1e-6)
+
+
+class TestApplyOverheads:
+    @pytest.fixture
+    def schedule(self, channel):
+        scheduler = SicScheduler(channel=channel,
+                                 techniques=TechniqueSet.ALL)
+        clients = make_clients(channel, [32, 16, 28, 14])
+        return scheduler.schedule(clients)
+
+    def test_no_overheads_preserves_gain(self, schedule):
+        adjusted = apply_overheads(schedule, NO_OVERHEADS)
+        assert adjusted.gain == pytest.approx(schedule.gain)
+        assert adjusted.overhead_fraction == 0.0
+
+    def test_overheads_extend_both_sides(self, schedule):
+        adjusted = apply_overheads(schedule, DOT11G_OVERHEADS)
+        assert adjusted.total_time_s > schedule.total_time_s
+        assert adjusted.serial_total_s > schedule.serial_time_s
+
+    def test_serial_pays_one_access_per_packet(self, schedule):
+        adjusted = apply_overheads(schedule, DOT11G_OVERHEADS)
+        n_packets = sum(len(slot.clients) for slot in schedule.slots)
+        assert adjusted.serial_overhead_s == pytest.approx(
+            n_packets * DOT11G_OVERHEADS.slot_overhead_s(1))
+
+    def test_pairing_shares_channel_accesses(self, schedule):
+        # Paired slots pay fewer per-access costs than serial would.
+        adjusted = apply_overheads(schedule, DOT11G_OVERHEADS)
+        assert adjusted.overhead_s < adjusted.serial_overhead_s
+
+    def test_fixed_access_costs_favour_sic(self, channel, schedule):
+        # With only per-access overhead (no ACKs) pairing strictly
+        # improves the gain: half as many accesses.
+        access_only = MacOverheads(sifs_s=0.0, ack_s=0.0)
+        plain = apply_overheads(schedule, NO_OVERHEADS)
+        with_access = apply_overheads(schedule, access_only)
+        if any(slot.is_pair for slot in schedule.slots):
+            assert with_access.gain > plain.gain
+
+    def test_overhead_fraction_in_unit_interval(self, schedule):
+        adjusted = apply_overheads(schedule, DOT11G_OVERHEADS)
+        assert 0.0 < adjusted.overhead_fraction < 1.0

@@ -1,0 +1,87 @@
+"""Group-schedule simulation tests: k-SIC analytic vs operational."""
+
+import pytest
+
+from repro.scheduling.groups import (
+    exhaustive_group_schedule,
+    greedy_group_schedule,
+)
+from repro.scheduling.scheduler import UploadClient
+from repro.sic.ksic import SuccessiveReceiver, equal_rate_group_powers
+from repro.sim.wlan import SimulationError, UplinkSimulator
+
+
+def make_clients(rss_list):
+    return [UploadClient(f"C{i + 1}", rss) for i, rss in enumerate(rss_list)]
+
+
+@pytest.fixture
+def simulator(channel):
+    return UplinkSimulator(channel=channel)
+
+
+class TestGroupCrossValidation:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_simulated_time_equals_scheduled(self, channel, simulator,
+                                             rng, k):
+        clients = make_clients(10 ** rng.uniform(-12.5, -8, size=9))
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=k)
+        metrics = simulator.run_groups(schedule, clients)
+        assert metrics.all_decoded
+        assert metrics.completion_time_s == pytest.approx(
+            schedule.total_time_s, rel=1e-9)
+
+    def test_exhaustive_schedule_executes(self, channel, simulator, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=6))
+        schedule = exhaustive_group_schedule(channel, clients,
+                                             max_group_size=3)
+        metrics = simulator.run_groups(schedule, clients)
+        assert metrics.all_decoded
+        assert metrics.completion_time_s == pytest.approx(
+            schedule.total_time_s, rel=1e-9)
+
+    def test_ladder_group_all_decode_concurrently(self, channel,
+                                                  simulator):
+        powers = equal_rate_group_powers(channel, 3, 10.0)
+        clients = make_clients(powers)
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=3)
+        assert len(schedule.slots) == 1 and schedule.slots[0].used_sic
+        metrics = simulator.run_groups(schedule, clients)
+        assert metrics.all_decoded
+        assert metrics.concurrency_fraction() == 1.0
+
+    def test_capped_receiver_fails_deep_groups(self, channel):
+        powers = equal_rate_group_powers(channel, 3, 10.0)
+        clients = make_clients(powers)
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=3)
+        capped = SuccessiveReceiver(channel=channel, max_cancellations=1)
+        sim = UplinkSimulator(channel=channel, strict=False)
+        metrics = sim.run_groups(schedule, clients, receiver=capped)
+        assert metrics.failed_count == 1  # the third layer is lost
+
+    def test_strict_mode_raises_on_capped_receiver(self, channel):
+        powers = equal_rate_group_powers(channel, 3, 10.0)
+        clients = make_clients(powers)
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=3)
+        capped = SuccessiveReceiver(channel=channel, max_cancellations=1)
+        sim = UplinkSimulator(channel=channel, strict=True)
+        with pytest.raises(SimulationError):
+            sim.run_groups(schedule, clients, receiver=capped)
+
+    def test_unknown_client_rejected(self, channel, simulator):
+        clients = make_clients([1e-9, 1e-10])
+        schedule = greedy_group_schedule(channel, clients)
+        with pytest.raises(ValueError, match="unknown"):
+            simulator.run_groups(schedule, clients[:1])
+
+    def test_bits_delivered(self, channel, simulator, rng):
+        clients = make_clients(10 ** rng.uniform(-12, -8, size=7))
+        schedule = greedy_group_schedule(channel, clients,
+                                         max_group_size=3)
+        metrics = simulator.run_groups(schedule, clients)
+        assert metrics.delivered_bits == pytest.approx(
+            simulator.packet_bits * len(clients), rel=1e-9)

@@ -1,0 +1,67 @@
+"""Multirate packetization tests (paper Section 5.3, Fig. 10f)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.airtime import z_sic_same_receiver
+from repro.techniques.multirate import multirate_pair_airtime
+
+L = 12_000.0
+power = st.floats(min_value=1e-13, max_value=1e-5)
+
+
+class TestMultirate:
+    def test_helps_when_strong_is_bottleneck(self, channel):
+        n0 = channel.noise_w
+        s1, s2 = 1e4 * n0, 0.8e4 * n0   # similar RSS: strong bottleneck
+        plain = z_sic_same_receiver(channel, L, s1, s2)
+        plan = multirate_pair_airtime(channel, L, s1, s2)
+        assert plan.used_rate_switch
+        assert plan.airtime_s < plain
+
+    def test_no_switch_when_weak_is_bottleneck(self, channel):
+        n0 = channel.noise_w
+        s1, s2 = 1e8 * n0, 3 * n0
+        plain = z_sic_same_receiver(channel, L, s1, s2)
+        plan = multirate_pair_airtime(channel, L, s1, s2)
+        assert not plan.used_rate_switch
+        assert plan.airtime_s == pytest.approx(plain)
+
+    def test_bit_conservation(self, channel):
+        # Bits sent in the overlap plus the boost phase equal L.
+        n0 = channel.noise_w
+        s1, s2 = 1e4 * n0, 0.8e4 * n0
+        plan = multirate_pair_airtime(channel, L, s1, s2)
+        rate_int = channel.rate(s1, s2)
+        rate_clean = channel.rate(s1)
+        bits = rate_int * plan.overlap_s + rate_clean * plan.boost_s
+        assert bits == pytest.approx(L, rel=1e-9)
+
+    def test_argument_order_irrelevant(self, channel):
+        a = multirate_pair_airtime(channel, L, 1e-9, 3e-10)
+        b = multirate_pair_airtime(channel, L, 3e-10, 1e-9)
+        assert a.airtime_s == pytest.approx(b.airtime_s)
+
+    @given(power, power)
+    def test_never_worse_than_plain_sic(self, a, b):
+        channel = Channel()
+        plain = z_sic_same_receiver(channel, L, a, b)
+        plan = multirate_pair_airtime(channel, L, a, b)
+        assert plan.airtime_s <= plain + 1e-12
+
+    @given(power, power)
+    def test_airtime_at_least_weak_clean_time(self, a, b):
+        # Both packets must fully transmit; the weak one's clean-rate
+        # time is a hard lower bound.
+        channel = Channel()
+        plan = multirate_pair_airtime(channel, L, a, b)
+        weak = min(a, b)
+        assert plan.airtime_s >= L / channel.rate(weak) - 1e-12
+
+    def test_rejects_bad_inputs(self, channel):
+        with pytest.raises(ValueError):
+            multirate_pair_airtime(channel, 0.0, 1e-9, 1e-10)
+        with pytest.raises(ValueError):
+            multirate_pair_airtime(channel, L, 0.0, 1e-10)

@@ -1,0 +1,117 @@
+"""Packet-packing tests (paper Section 5.4, Fig. 10g)."""
+
+import pytest
+
+from repro.techniques.packing import pack_pair_links, pack_uplink_airtime
+
+L = 12_000.0
+
+
+class TestPackPairLinks:
+    def test_infeasible_degenerates_to_serial(self, channel):
+        packed = pack_pair_links(channel, L,
+                                 slow_rss_w=1e-10, slow_interference_w=1e-11,
+                                 fast_rss_w=1e-9, fast_interference_w=0.0,
+                                 sic_feasible=False)
+        assert packed.fast_packets == 1
+        assert packed.gain == 1.0
+
+    def test_fast_link_packs_multiple(self, channel):
+        n0 = channel.noise_w
+        packed = pack_pair_links(channel, L,
+                                 slow_rss_w=3 * n0, slow_interference_w=0.0,
+                                 fast_rss_w=1e5 * n0,
+                                 fast_interference_w=0.0,
+                                 sic_feasible=True)
+        assert packed.fast_packets > 1
+        assert packed.gain > 1.0
+
+    def test_respects_max_fast_packets(self, channel):
+        n0 = channel.noise_w
+        packed = pack_pair_links(channel, L,
+                                 slow_rss_w=2 * n0, slow_interference_w=0.0,
+                                 fast_rss_w=1e8 * n0,
+                                 fast_interference_w=0.0,
+                                 sic_feasible=True, max_fast_packets=3)
+        assert packed.fast_packets <= 3
+
+    def test_no_packing_when_fast_is_not_faster(self, channel):
+        packed = pack_pair_links(channel, L,
+                                 slow_rss_w=1e-9, slow_interference_w=0.0,
+                                 fast_rss_w=1e-9, fast_interference_w=0.0,
+                                 sic_feasible=True)
+        assert packed.fast_packets == 1
+
+    def test_gain_never_below_one(self, channel):
+        n0 = channel.noise_w
+        for slow_int in (0.0, 1e3 * n0):
+            packed = pack_pair_links(channel, L,
+                                     slow_rss_w=10 * n0,
+                                     slow_interference_w=slow_int,
+                                     fast_rss_w=1e4 * n0,
+                                     fast_interference_w=0.0,
+                                     sic_feasible=True)
+            assert packed.gain >= 1.0
+
+    def test_packed_airtime_bounded_by_components(self, channel):
+        n0 = channel.noise_w
+        packed = pack_pair_links(channel, L,
+                                 slow_rss_w=5 * n0, slow_interference_w=0.0,
+                                 fast_rss_w=1e5 * n0,
+                                 fast_interference_w=0.0,
+                                 sic_feasible=True)
+        t_slow = L / channel.rate(5 * n0)
+        assert packed.airtime_s >= t_slow - 1e-12
+        assert packed.airtime_s <= packed.serial_airtime_s + 1e-12
+
+
+class TestPackUplink:
+    def test_single_fast_client_packs(self, channel):
+        n0 = channel.noise_w
+        packed = pack_uplink_airtime(channel, L,
+                                     slow_rss_w=3 * n0,
+                                     fast_rss_ws=[1e5 * n0])
+        assert packed.packed_order == (0,)
+        assert packed.gain > 1.0
+
+    def test_mid_air_joins_gated(self, channel):
+        n0 = channel.noise_w
+        fast = [1e5 * n0, 1e5 * n0, 1e5 * n0]
+        today = pack_uplink_airtime(channel, L, 3 * n0, fast,
+                                    allow_mid_air_joins=False)
+        future = pack_uplink_airtime(channel, L, 3 * n0, fast,
+                                     allow_mid_air_joins=True)
+        assert len(today.packed_order) <= 1
+        assert len(future.packed_order) >= len(today.packed_order)
+        assert future.airtime_s <= today.airtime_s + 1e-12
+
+    def test_fastest_first_ordering(self, channel):
+        n0 = channel.noise_w
+        fast = [1e3 * n0, 1e6 * n0]
+        packed = pack_uplink_airtime(channel, L, 2 * n0, fast,
+                                     allow_mid_air_joins=True)
+        # Client 1 (higher RSS, faster) must be packed before client 0.
+        assert packed.packed_order[0] == 1
+
+    def test_leftovers_serialised_after_slow(self, channel):
+        n0 = channel.noise_w
+        # Fast packets fit only partially under the slow one: the rest
+        # queue up afterwards, so the total exceeds the slow airtime.
+        slow = 5 * n0
+        fast = [1e3 * n0, 1e3 * n0, 1e3 * n0, 1e3 * n0]
+        packed = pack_uplink_airtime(channel, L, slow, fast,
+                                     allow_mid_air_joins=False)
+        t_slow_clean = L / channel.rate(slow)
+        assert len(packed.packed_order) == 1
+        assert packed.airtime_s > t_slow_clean
+
+    def test_never_worse_than_serial(self, channel):
+        n0 = channel.noise_w
+        packed = pack_uplink_airtime(channel, L, 2 * n0,
+                                     [5 * n0, 10 * n0, 1e4 * n0])
+        assert packed.airtime_s <= packed.serial_airtime_s + 1e-12
+        assert packed.gain >= 1.0
+
+    def test_rejects_empty_fast_list(self, channel):
+        with pytest.raises(ValueError):
+            pack_uplink_airtime(channel, L, 1e-9, [])

@@ -1,0 +1,112 @@
+"""Pair-cost tests (paper Section 5.1 / Section 6 edge weights)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.airtime import z_serial_same_receiver, z_sic_same_receiver
+from repro.techniques.pairing import (
+    PairMode,
+    TechniqueSet,
+    pair_airtime,
+    solo_airtime,
+)
+
+L = 12_000.0
+power = st.floats(min_value=1e-13, max_value=1e-5)
+
+
+class TestTechniqueSet:
+    def test_flags_compose(self):
+        both = TechniqueSet.POWER_CONTROL | TechniqueSet.MULTIRATE
+        assert TechniqueSet.POWER_CONTROL in both
+        assert both == TechniqueSet.ALL
+
+    def test_none_contains_nothing(self):
+        assert TechniqueSet.POWER_CONTROL not in TechniqueSet.NONE
+
+
+class TestSoloAirtime:
+    def test_matches_channel(self, channel):
+        assert solo_airtime(channel, L, 1e-9) == pytest.approx(
+            L / channel.rate(1e-9))
+
+    def test_rejects_bad_rss(self, channel):
+        with pytest.raises(ValueError):
+            solo_airtime(channel, L, 0.0)
+
+
+class TestPairAirtime:
+    def test_sic_disabled_is_serial(self, channel):
+        cost = pair_airtime(channel, L, 1e-9, 1e-10, sic_enabled=False)
+        assert cost.mode is PairMode.SERIAL
+        assert cost.airtime_s == pytest.approx(
+            z_serial_same_receiver(channel, L, 1e-9, 1e-10))
+
+    def test_good_pair_uses_sic(self, channel):
+        # RSS gap near the equal-rate optimum: SIC wins outright.
+        n0 = channel.noise_w
+        s1 = 1e6 * n0
+        s2 = 1e3 * n0
+        cost = pair_airtime(channel, L, s1, s2)
+        assert cost.mode is PairMode.SIC
+        assert cost.airtime_s == pytest.approx(
+            z_sic_same_receiver(channel, L, s1, s2))
+
+    def test_bad_pair_falls_back_to_serial(self, channel):
+        # Equal strong RSS: SIC loses; the MAC goes serial.
+        n0 = channel.noise_w
+        cost = pair_airtime(channel, L, 1e6 * n0, 1e6 * n0)
+        assert cost.mode is PairMode.SERIAL
+        assert cost.gain == 1.0
+
+    def test_power_control_rescues_similar_pair(self, channel):
+        n0 = channel.noise_w
+        cost = pair_airtime(channel, L, 1e6 * n0, 1e6 * n0,
+                            techniques=TechniqueSet.POWER_CONTROL)
+        assert cost.mode is PairMode.SIC_POWER_CONTROL
+        assert cost.gain > 1.0
+
+    def test_multirate_picked_when_best(self, channel):
+        n0 = channel.noise_w
+        cost = pair_airtime(channel, L, 1e6 * n0, 0.9e6 * n0,
+                            techniques=TechniqueSet.MULTIRATE)
+        assert cost.mode is PairMode.SIC_MULTIRATE
+        assert cost.airtime_s < z_sic_same_receiver(channel, L,
+                                                    1e6 * n0, 0.9e6 * n0)
+
+    def test_all_techniques_picks_minimum(self, channel):
+        n0 = channel.noise_w
+        s1, s2 = 1e6 * n0, 0.9e6 * n0
+        alone = {
+            t: pair_airtime(channel, L, s1, s2, techniques=t).airtime_s
+            for t in (TechniqueSet.NONE, TechniqueSet.POWER_CONTROL,
+                      TechniqueSet.MULTIRATE)
+        }
+        combined = pair_airtime(channel, L, s1, s2,
+                                techniques=TechniqueSet.ALL)
+        assert combined.airtime_s == pytest.approx(min(alone.values()))
+
+    @given(power, power)
+    def test_cost_never_exceeds_serial(self, a, b):
+        channel = Channel()
+        cost = pair_airtime(channel, L, a, b,
+                            techniques=TechniqueSet.ALL)
+        assert cost.airtime_s <= cost.serial_airtime_s + 1e-12
+        assert cost.gain >= 1.0
+
+    @given(power, power)
+    def test_more_techniques_never_hurt(self, a, b):
+        channel = Channel()
+        base = pair_airtime(channel, L, a, b).airtime_s
+        full = pair_airtime(channel, L, a, b,
+                            techniques=TechniqueSet.ALL).airtime_s
+        assert full <= base + 1e-12
+
+    def test_symmetric(self, channel):
+        a = pair_airtime(channel, L, 1e-9, 3e-10,
+                         techniques=TechniqueSet.ALL)
+        b = pair_airtime(channel, L, 3e-10, 1e-9,
+                         techniques=TechniqueSet.ALL)
+        assert a.airtime_s == pytest.approx(b.airtime_s)

@@ -1,0 +1,90 @@
+"""Power-reduction tests (paper Section 5.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.airtime import z_sic_same_receiver
+from repro.techniques.power_control import (
+    equal_rate_weak_rss,
+    power_controlled_pair_airtime,
+)
+
+L = 12_000.0
+power = st.floats(min_value=1e-13, max_value=1e-5)
+
+
+class TestEqualRateWeakRss:
+    def test_solves_the_quadratic(self, channel):
+        strong = 1e-9
+        x = equal_rate_weak_rss(channel, strong)
+        n0 = channel.noise_w
+        assert strong / (x + n0) == pytest.approx(x / n0, rel=1e-12)
+
+    def test_below_strong(self, channel):
+        strong = 1e-9
+        assert equal_rate_weak_rss(channel, strong) < strong
+
+    def test_monotone_in_strong(self, channel):
+        assert equal_rate_weak_rss(channel, 1e-9) > \
+            equal_rate_weak_rss(channel, 1e-10)
+
+    def test_rejects_nonpositive(self, channel):
+        with pytest.raises(ValueError):
+            equal_rate_weak_rss(channel, 0.0)
+
+
+class TestPowerControlledAirtime:
+    def test_reduces_when_rss_similar(self, channel):
+        # Similar RSS: the stronger client is the bottleneck; power
+        # control must strictly improve on plain SIC.
+        n0 = channel.noise_w
+        s1, s2 = 1e4 * n0, 0.8e4 * n0
+        plain = z_sic_same_receiver(channel, L, s1, s2)
+        controlled = power_controlled_pair_airtime(channel, L, s1, s2)
+        assert controlled.power_reduced
+        assert controlled.airtime_s < plain
+
+    def test_no_reduction_when_gap_wide(self, channel):
+        n0 = channel.noise_w
+        s1, s2 = 1e8 * n0, 10 * n0   # far beyond the equal-rate gap
+        plain = z_sic_same_receiver(channel, L, s1, s2)
+        controlled = power_controlled_pair_airtime(channel, L, s1, s2)
+        assert not controlled.power_reduced
+        assert controlled.airtime_s == pytest.approx(plain)
+        assert controlled.weak_power_backoff_db == 0.0
+
+    def test_reduced_pair_finishes_together(self, channel):
+        n0 = channel.noise_w
+        s1, s2 = 1e4 * n0, 0.9e4 * n0
+        controlled = power_controlled_pair_airtime(channel, L, s1, s2)
+        r_strong = channel.rate(controlled.strong_rss_w,
+                                controlled.weak_rss_w)
+        r_weak = channel.rate(controlled.weak_rss_w)
+        assert r_strong == pytest.approx(r_weak, rel=1e-9)
+
+    def test_backoff_db_positive_when_reduced(self, channel):
+        n0 = channel.noise_w
+        controlled = power_controlled_pair_airtime(
+            channel, L, 1e4 * n0, 0.9e4 * n0)
+        assert controlled.weak_power_backoff_db > 0.0
+
+    def test_argument_order_irrelevant(self, channel):
+        a = power_controlled_pair_airtime(channel, L, 1e-9, 3e-10)
+        b = power_controlled_pair_airtime(channel, L, 3e-10, 1e-9)
+        assert a.airtime_s == pytest.approx(b.airtime_s)
+
+    @given(power, power)
+    def test_never_worse_than_plain_sic(self, a, b):
+        channel = Channel()
+        plain = z_sic_same_receiver(channel, L, a, b)
+        controlled = power_controlled_pair_airtime(channel, L, a, b)
+        assert controlled.airtime_s <= plain + 1e-12
+
+    @given(power, power)
+    def test_power_only_ever_reduced(self, a, b):
+        channel = Channel()
+        controlled = power_controlled_pair_airtime(channel, L, a, b)
+        assert controlled.weak_rss_w <= min(a, b) + 1e-25
+        assert controlled.strong_rss_w == max(a, b)

@@ -1,0 +1,140 @@
+"""Scenario-generator tests."""
+
+import pytest
+
+from repro.topology.generators import (
+    MIN_LINK_DISTANCE_M,
+    ewlan_grid,
+    mesh_chain,
+    random_pair_topology,
+    random_uplink_clients,
+    residential_row,
+)
+
+
+class TestRandomPairTopology:
+    def test_transmitter_separation(self, rng):
+        topo = random_pair_topology(20.0, rng)
+        assert topo.t1.distance_to(topo.t2) == pytest.approx(20.0)
+
+    def test_receivers_within_range(self, rng):
+        for _ in range(100):
+            topo = random_pair_topology(15.0, rng)
+            assert topo.t1.distance_to(topo.r1) <= 15.0 + 1e-9
+            assert topo.t2.distance_to(topo.r2) <= 15.0 + 1e-9
+
+    def test_receivers_not_in_near_field(self, rng):
+        for _ in range(100):
+            topo = random_pair_topology(15.0, rng)
+            assert topo.t1.distance_to(topo.r1) >= MIN_LINK_DISTANCE_M - 1e-9
+            assert topo.t2.distance_to(topo.r2) >= MIN_LINK_DISTANCE_M - 1e-9
+
+    def test_custom_separation(self, rng):
+        topo = random_pair_topology(10.0, rng, separation_m=30.0)
+        assert topo.t1.distance_to(topo.t2) == pytest.approx(30.0)
+
+    def test_node_names(self, rng):
+        topo = random_pair_topology(10.0, rng)
+        assert [n.name for n in topo.nodes] == ["T1", "R1", "T2", "R2"]
+
+    def test_deterministic(self):
+        a = random_pair_topology(10.0, 3)
+        b = random_pair_topology(10.0, 3)
+        assert a == b
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            random_pair_topology(0.0)
+
+
+class TestRandomUplinkClients:
+    def test_counts_and_names(self, rng):
+        topo = random_uplink_clients(5, 30.0, rng)
+        assert len(topo.clients) == 5
+        assert [c.name for c in topo.clients] == [f"C{i}" for i in range(1, 6)]
+
+    def test_all_within_cell(self, rng):
+        topo = random_uplink_clients(20, 25.0, rng)
+        assert all(c.distance_to(topo.ap) <= 25.0 + 1e-9
+                   for c in topo.clients)
+
+    def test_association(self, rng):
+        topo = random_uplink_clients(3, 10.0, rng, ap_name="MYAP")
+        assert all(c.associated_ap == "MYAP" for c in topo.clients)
+
+    def test_rejects_zero_clients(self, rng):
+        with pytest.raises(ValueError):
+            random_uplink_clients(0, 10.0, rng)
+
+
+class TestEwlanGrid:
+    def test_ap_count(self, rng):
+        topo = ewlan_grid(2, 3, 30.0, clients_per_ap=2, rng=rng)
+        assert len(topo.aps) == 6
+        assert len(topo.clients) == 12
+
+    def test_clients_associate_to_nearest_ap(self, rng):
+        topo = ewlan_grid(2, 2, 40.0, clients_per_ap=5, rng=rng)
+        for client in topo.clients:
+            own = next(ap for ap in topo.aps
+                       if ap.name == client.associated_ap)
+            own_d = client.position.distance_to(own.position)
+            for ap in topo.aps:
+                assert own_d <= client.position.distance_to(
+                    ap.position) + 1e-9
+
+    def test_clients_of(self, rng):
+        topo = ewlan_grid(1, 2, 30.0, clients_per_ap=3, rng=rng)
+        total = sum(len(topo.clients_of(ap.name)) for ap in topo.aps)
+        assert total == len(topo.clients)
+
+    def test_rejects_bad_grid(self, rng):
+        with pytest.raises(ValueError):
+            ewlan_grid(0, 2, 30.0, 1, rng)
+
+
+class TestResidentialRow:
+    def test_one_ap_per_home(self, rng):
+        topo = residential_row(4, 12.0, clients_per_home=2, rng=rng)
+        assert len(topo.aps) == 4
+        assert len(topo.clients) == 8
+
+    def test_clients_locked_to_home_ap(self, rng):
+        # Unlike EWLAN, residential clients may be closer to a
+        # neighbour's AP but must stay on their own.
+        topo = residential_row(3, 10.0, clients_per_home=4, rng=rng)
+        for h in range(3):
+            home_clients = topo.clients_of(f"AP{h + 1}")
+            assert len(home_clients) == 4
+            for c in home_clients:
+                assert c.name.startswith(f"H{h + 1}")
+
+    def test_clients_inside_own_home_footprint(self, rng):
+        width = 11.0
+        topo = residential_row(3, width, clients_per_home=5, rng=rng)
+        for h in range(3):
+            for c in topo.clients_of(f"AP{h + 1}"):
+                assert h * width <= c.position.x <= (h + 1) * width
+
+
+class TestMeshChain:
+    def test_long_short_long(self):
+        chain = mesh_chain([40.0, 10.0, 40.0])
+        names = [n.name for n in chain.nodes]
+        assert names == ["A", "B", "C", "D"]
+        hops = chain.hops()
+        assert len(hops) == 3
+        assert hops[0][0].distance_to(hops[0][1]) == pytest.approx(40.0)
+        assert hops[1][0].distance_to(hops[1][1]) == pytest.approx(10.0)
+
+    def test_positions_accumulate(self):
+        chain = mesh_chain([5.0, 5.0])
+        assert chain.nodes[-1].position.x == pytest.approx(10.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mesh_chain([])
+
+    def test_rejects_short_hop(self):
+        with pytest.raises(ValueError):
+            mesh_chain([0.1])

@@ -1,0 +1,122 @@
+"""Geometry tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.geometry import (
+    Point,
+    centroid,
+    distance,
+    grid_points,
+    random_point_in_disk,
+    random_points_in_rect,
+)
+
+coords = st.floats(min_value=-1e4, max_value=1e4)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(-3, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_as_array(self):
+        arr = Point(1.5, -2.0).as_array()
+        assert list(arr) == [1.5, -2.0]
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+    @given(coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b, o = Point(x1, y1), Point(x2, y2), Point(0, 0)
+        assert a.distance_to(b) <= a.distance_to(o) + o.distance_to(b) + 1e-9
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Point(2, 3)]) == Point(2, 3)
+
+    def test_square(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(pts) == Point(1, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestRandomPointInDisk:
+    def test_inside_radius(self, rng):
+        center = Point(5, 5)
+        for _ in range(200):
+            p = random_point_in_disk(center, 10.0, rng)
+            assert center.distance_to(p) <= 10.0 + 1e-9
+
+    def test_respects_min_radius(self, rng):
+        center = Point(0, 0)
+        for _ in range(200):
+            p = random_point_in_disk(center, 10.0, rng, min_radius_m=2.0)
+            assert center.distance_to(p) >= 2.0 - 1e-9
+
+    def test_deterministic_with_seed(self):
+        a = random_point_in_disk(Point(0, 0), 5.0, 7)
+        b = random_point_in_disk(Point(0, 0), 5.0, 7)
+        assert a == b
+
+    def test_rejects_bad_annulus(self):
+        with pytest.raises(ValueError):
+            random_point_in_disk(Point(0, 0), 5.0, min_radius_m=5.0)
+
+    def test_roughly_uniform_over_area(self):
+        # Half the points should land beyond r/sqrt(2) (equal areas).
+        rng = np.random.default_rng(0)
+        n = 4000
+        beyond = sum(
+            Point(0, 0).distance_to(
+                random_point_in_disk(Point(0, 0), 1.0, rng))
+            > 1.0 / math.sqrt(2.0)
+            for _ in range(n))
+        assert abs(beyond / n - 0.5) < 0.03
+
+
+class TestRandomPointsInRect:
+    def test_count_and_bounds(self, rng):
+        pts = random_points_in_rect(50, 10.0, 4.0, rng)
+        assert len(pts) == 50
+        assert all(0 <= p.x <= 10 and 0 <= p.y <= 4 for p in pts)
+
+    def test_zero_count(self, rng):
+        assert random_points_in_rect(0, 1.0, 1.0, rng) == []
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_points_in_rect(-1, 1.0, 1.0, rng)
+
+
+class TestGridPoints:
+    def test_count(self):
+        assert len(grid_points(2, 3, 5.0)) == 6
+
+    def test_spacing(self):
+        pts = grid_points(1, 2, 7.0)
+        assert distance(pts[0], pts[1]) == 7.0
+
+    def test_origin_offset(self):
+        pts = grid_points(1, 1, 1.0, origin=Point(3, 4))
+        assert pts == [Point(3, 4)]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            grid_points(0, 3, 1.0)

@@ -1,0 +1,65 @@
+"""Node-type tests."""
+
+import pytest
+
+from repro.topology.geometry import Point
+from repro.topology.nodes import (
+    DEFAULT_TX_POWER_W,
+    AccessPoint,
+    Client,
+    Link,
+    Node,
+    Radio,
+)
+
+
+class TestNode:
+    def test_default_power_is_20_dbm(self):
+        assert DEFAULT_TX_POWER_W == pytest.approx(0.1)
+
+    def test_distance(self):
+        a = Node("a", Point(0, 0))
+        b = Node("b", Point(3, 4))
+        assert a.distance_to(b) == 5.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Node("", Point(0, 0))
+
+    def test_bad_power_rejected(self):
+        with pytest.raises(ValueError):
+            Node("a", Point(0, 0), max_tx_power_w=0.0)
+
+    def test_subtypes(self):
+        assert isinstance(AccessPoint("ap", Point(0, 0)), Node)
+        assert isinstance(Radio("r", Point(0, 0)), Node)
+
+
+class TestClient:
+    def test_association_default_empty(self):
+        assert Client("c", Point(0, 0)).associated_ap == ""
+
+    def test_association(self):
+        c = Client("c", Point(0, 0), associated_ap="AP1")
+        assert c.associated_ap == "AP1"
+
+
+class TestLink:
+    def test_length(self):
+        link = Link(Node("a", Point(0, 0)), Node("b", Point(0, 2)))
+        assert link.length_m == 2.0
+
+    def test_self_link_rejected(self):
+        node = Node("a", Point(0, 0))
+        other_same_name = Node("a", Point(1, 1))
+        with pytest.raises(ValueError):
+            Link(node, other_same_name)
+
+    def test_str(self):
+        link = Link(Node("a", Point(0, 0)), Node("b", Point(1, 0)),
+                    label="uplink")
+        assert str(link) == "a->b [uplink]"
+
+    def test_str_without_label(self):
+        link = Link(Node("a", Point(0, 0)), Node("b", Point(1, 0)))
+        assert str(link) == "a->b"

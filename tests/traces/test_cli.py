@@ -1,0 +1,60 @@
+"""Trace CLI tests (``python -m repro.traces``)."""
+
+import pytest
+
+from repro.traces.__main__ import main
+from repro.traces.io import read_downlink_measurements, read_upload_trace
+
+
+class TestUploadCommand:
+    def test_generates_readable_trace(self, tmp_path, capsys):
+        out = tmp_path / "building.jsonl"
+        rc = main(["upload", "--out", str(out), "--days", "0.5",
+                   "--seed", "3"])
+        assert rc == 0
+        trace = read_upload_trace(out)
+        assert len(trace) > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["upload", "--out", str(a), "--days", "0.25", "--seed", "9"])
+        main(["upload", "--out", str(b), "--days", "0.25", "--seed", "9"])
+        assert read_upload_trace(a) == read_upload_trace(b)
+
+
+class TestDownlinkCommand:
+    def test_generates_readable_campaign(self, tmp_path, capsys):
+        out = tmp_path / "campaign.jsonl"
+        rc = main(["downlink", "--out", str(out), "--locations", "10",
+                   "--seed", "3"])
+        assert rc == 0
+        measurements = read_downlink_measurements(out)
+        assert len(measurements) == 10
+
+
+class TestInspectCommand:
+    def test_inspect_upload(self, tmp_path, capsys):
+        out = tmp_path / "building.jsonl"
+        main(["upload", "--out", str(out), "--days", "0.25", "--seed", "3"])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        assert "upload trace" in capsys.readouterr().out
+
+    def test_inspect_downlink(self, tmp_path, capsys):
+        out = tmp_path / "campaign.jsonl"
+        main(["downlink", "--out", str(out), "--locations", "5",
+              "--seed", "3"])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        assert "downlink campaign" in capsys.readouterr().out
+
+    def test_inspect_unknown_kind(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "mystery"}\n')
+        assert main(["inspect", str(bad)]) == 2
+
+    def test_inspect_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["inspect", str(empty)]) == 2

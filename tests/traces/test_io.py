@@ -1,0 +1,102 @@
+"""Trace JSONL round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.traces.downlink import DownlinkTraceConfig, DownlinkTraceGenerator
+from repro.traces.io import (
+    read_downlink_measurements,
+    read_upload_trace,
+    write_downlink_measurements,
+    write_upload_trace,
+)
+from repro.traces.records import ApSnapshot, ClientObservation, UploadTrace
+from repro.traces.synthetic import UploadTraceConfig, UploadTraceGenerator
+
+
+@pytest.fixture
+def upload_trace():
+    config = UploadTraceConfig(duration_days=0.25)
+    return UploadTraceGenerator(config).generate(seed=9)
+
+
+@pytest.fixture
+def campaign():
+    config = DownlinkTraceConfig(n_locations=6)
+    return DownlinkTraceGenerator(config).generate(seed=9)
+
+
+class TestUploadRoundTrip:
+    def test_lossless(self, upload_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_upload_trace(upload_trace, path)
+        assert read_upload_trace(path) == upload_trace
+
+    def test_empty_trace(self, tmp_path):
+        trace = UploadTrace(building="x", snapshot_interval_s=900.0,
+                            snapshots=())
+        path = tmp_path / "empty.jsonl"
+        write_upload_trace(trace, path)
+        assert read_upload_trace(path) == trace
+
+    def test_header_is_first_line(self, upload_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_upload_trace(upload_trace, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == "upload-trace"
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "other"}) + "\n")
+        with pytest.raises(ValueError, match="not an upload trace"):
+            read_upload_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_upload_trace(path)
+
+    def test_malformed_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "upload-trace", "building": "b",
+                        "snapshot_interval_s": 900.0}) + "\n"
+            + json.dumps({"ap": "AP1"}) + "\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_upload_trace(path)
+
+    def test_blank_lines_ignored(self, upload_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_upload_trace(upload_trace, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert read_upload_trace(path) == upload_trace
+
+
+class TestDownlinkRoundTrip:
+    def test_lossless(self, campaign, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        write_downlink_measurements(campaign, path)
+        assert read_downlink_measurements(path) == campaign
+
+    def test_pair_keys_encoded(self, campaign, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        write_downlink_measurements(campaign, path)
+        line = json.loads(path.read_text().splitlines()[1])
+        assert all("|" in key for key in line["interfered_rate_bps"])
+
+    def test_wrong_kind_rejected(self, campaign, tmp_path):
+        upload_path = tmp_path / "upload.jsonl"
+        trace = UploadTrace(
+            building="b", snapshot_interval_s=900.0,
+            snapshots=(ApSnapshot("AP1", 0.0,
+                                  (ClientObservation("c", -50.0),)),))
+        write_upload_trace(trace, upload_path)
+        with pytest.raises(ValueError, match="not a downlink"):
+            read_downlink_measurements(upload_path)
+
+    def test_empty_campaign(self, tmp_path):
+        path = tmp_path / "none.jsonl"
+        write_downlink_measurements([], path)
+        assert read_downlink_measurements(path) == []

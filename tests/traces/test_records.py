@@ -1,0 +1,80 @@
+"""Trace-record tests."""
+
+import pytest
+
+from repro.traces.records import (
+    ApSnapshot,
+    ClientObservation,
+    DownlinkMeasurement,
+    UploadTrace,
+)
+
+
+def snapshot(ap="AP1", t=0.0, clients=2):
+    return ApSnapshot(
+        ap=ap, timestamp_s=t,
+        clients=tuple(ClientObservation(f"c{i}", -60.0 - i)
+                      for i in range(clients)))
+
+
+class TestClientObservation:
+    def test_rssi_to_watts(self):
+        obs = ClientObservation("c", -30.0)
+        assert obs.rss_w == pytest.approx(1e-6)
+
+    def test_from_watts_round_trip(self):
+        obs = ClientObservation.from_watts("c", 2.5e-9)
+        assert obs.rss_w == pytest.approx(2.5e-9)
+
+
+class TestApSnapshot:
+    def test_counts(self):
+        assert snapshot(clients=3).n_clients == 3
+
+    def test_rss_watts_order(self):
+        snap = snapshot(clients=2)
+        watts = snap.rss_watts()
+        assert watts[0] > watts[1]
+
+
+class TestUploadTrace:
+    def make_trace(self):
+        return UploadTrace(
+            building="b", snapshot_interval_s=900.0,
+            snapshots=(snapshot("AP1", 0.0, 1), snapshot("AP2", 0.0, 3),
+                       snapshot("AP1", 900.0, 2)))
+
+    def test_len_and_iter(self):
+        trace = self.make_trace()
+        assert len(trace) == 3
+        assert len(list(trace)) == 3
+
+    def test_duration(self):
+        assert self.make_trace().duration_s == 900.0
+
+    def test_ap_names_sorted_unique(self):
+        assert self.make_trace().ap_names == ["AP1", "AP2"]
+
+    def test_busy_snapshots_filters(self):
+        trace = self.make_trace()
+        busy = trace.busy_snapshots(min_clients=2)
+        assert len(busy) == 2
+        assert all(s.n_clients >= 2 for s in busy)
+
+    def test_empty_trace(self):
+        trace = UploadTrace(building="x", snapshot_interval_s=900.0,
+                            snapshots=())
+        assert trace.duration_s == 0.0
+        assert trace.ap_names == []
+
+
+class TestDownlinkMeasurement:
+    def test_strongest_ap(self):
+        m = DownlinkMeasurement(location="L1",
+                                snr_db={"AP1": 10.0, "AP2": 30.0})
+        assert m.strongest_ap() == "AP2"
+
+    def test_ap_names_sorted(self):
+        m = DownlinkMeasurement(location="L1",
+                                snr_db={"AP2": 1.0, "AP1": 2.0})
+        assert m.ap_names == ["AP1", "AP2"]

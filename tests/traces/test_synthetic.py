@@ -1,0 +1,103 @@
+"""Synthetic upload-trace generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    UploadTraceConfig,
+    UploadTraceGenerator,
+    occupancy_factor,
+)
+
+
+@pytest.fixture(scope="module")
+def short_trace():
+    config = UploadTraceConfig(duration_days=1.0)
+    return UploadTraceGenerator(config).generate(seed=7)
+
+
+class TestConfig:
+    def test_defaults_are_paper_scale(self):
+        config = UploadTraceConfig()
+        assert config.duration_days == 14.0
+        assert config.snapshot_interval_s == 900.0
+
+    def test_n_snapshots(self):
+        config = UploadTraceConfig(duration_days=1.0)
+        assert config.n_snapshots == 96
+
+    def test_rejects_bad_night_fraction(self):
+        with pytest.raises(ValueError):
+            UploadTraceConfig(night_fraction=1.5)
+
+    def test_rejects_zero_aps(self):
+        with pytest.raises(ValueError):
+            UploadTraceConfig(ap_rows=0)
+
+
+class TestOccupancy:
+    def test_peaks_at_13h(self):
+        values = [occupancy_factor(h * 3600.0, 0.1) for h in range(24)]
+        assert values.index(max(values)) == 13
+
+    def test_bounded(self):
+        for h in range(0, 24):
+            f = occupancy_factor(h * 3600.0, 0.2)
+            assert 0.2 <= f <= 1.0
+
+    def test_night_quieter_than_noon(self):
+        assert occupancy_factor(3 * 3600.0, 0.1) < \
+            occupancy_factor(13 * 3600.0, 0.1)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        config = UploadTraceConfig(duration_days=0.25)
+        a = UploadTraceGenerator(config).generate(seed=3)
+        b = UploadTraceGenerator(config).generate(seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        config = UploadTraceConfig(duration_days=0.25)
+        a = UploadTraceGenerator(config).generate(seed=3)
+        b = UploadTraceGenerator(config).generate(seed=4)
+        assert a != b
+
+    def test_ap_names_within_config(self, short_trace):
+        config = UploadTraceConfig()
+        valid = {f"AP{i + 1}" for i in range(config.n_aps)}
+        assert set(short_trace.ap_names) <= valid
+
+    def test_rssi_above_sensitivity(self, short_trace):
+        config = UploadTraceConfig()
+        for snap in short_trace:
+            for obs in snap.clients:
+                assert obs.rssi_dbm >= config.sensitivity_dbm
+
+    def test_rssi_plausible_indoor_range(self, short_trace):
+        rssi = [obs.rssi_dbm for snap in short_trace
+                for obs in snap.clients]
+        assert np.median(rssi) < -20.0
+        assert min(rssi) >= -95.0
+
+    def test_timestamps_align_to_interval(self, short_trace):
+        for snap in short_trace:
+            assert snap.timestamp_s % 900.0 == 0.0
+
+    def test_produces_pairable_snapshots(self, short_trace):
+        # The whole point of the trace: snapshots with >= 2 clients.
+        assert len(short_trace.busy_snapshots(2)) > 10
+
+    def test_diurnal_load_visible(self):
+        config = UploadTraceConfig(duration_days=4.0, peak_clients=30.0)
+        trace = UploadTraceGenerator(config).generate(seed=5)
+        day = [s.n_clients for s in trace
+               if 10 * 3600 <= s.timestamp_s % 86400 <= 16 * 3600]
+        night = [s.n_clients for s in trace
+                 if s.timestamp_s % 86400 <= 5 * 3600]
+        assert np.mean(day) > np.mean(night)
+
+    def test_client_names_unique_within_snapshot(self, short_trace):
+        for snap in short_trace:
+            names = [c.client for c in snap.clients]
+            assert len(set(names)) == len(names)

@@ -1,0 +1,39 @@
+"""ASCII CDF renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.cdf import ascii_cdf
+
+
+class TestAsciiCdf:
+    def test_dimensions(self):
+        art = ascii_cdf([1.0, 1.5, 2.0], width=30, height=8)
+        lines = art.split("\n")
+        assert len(lines) == 8 + 2  # rows + axis + tick labels
+        assert all(len(line) >= 30 for line in lines[:8])
+
+    def test_monotone_steps(self):
+        # Column stars must never move downward as x grows.
+        art = ascii_cdf(np.linspace(1.0, 2.0, 200), width=40, height=10)
+        rows = art.split("\n")[:10]
+        star_rows = []
+        for col in range(7, 7 + 40):
+            for r, row in enumerate(rows):
+                if col < len(row) and row[col] == "*":
+                    star_rows.append(r)
+                    break
+        assert star_rows == sorted(star_rows, reverse=True)
+
+    def test_label_appended(self):
+        art = ascii_cdf([1.0, 2.0], label="demo")
+        assert art.strip().endswith("(demo)")
+
+    def test_explicit_range(self):
+        art = ascii_cdf([1.1, 1.2], x_min=1.0, x_max=2.0)
+        assert "1.00" in art and "2.00" in art
+
+    def test_degenerate_samples(self):
+        # All-equal samples get a synthetic range, no crash.
+        art = ascii_cdf([1.0, 1.0, 1.0])
+        assert "*" in art

@@ -1,0 +1,103 @@
+"""Empirical CDF tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.cdf import EmpiricalCdf, fraction_at_least, gain_cdf_summary
+
+finite_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=50)
+
+
+class TestEmpiricalCdf:
+    def test_single_sample(self):
+        cdf = EmpiricalCdf.from_samples([2.0])
+        assert cdf(1.9) == 0.0
+        assert cdf(2.0) == 1.0
+
+    def test_right_continuity(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf(2.0) == 0.5
+        assert cdf(2.0 - 1e-12) == 0.25
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf.from_samples([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf.from_samples([1.0, math.nan])
+
+    def test_survival_complements_cdf(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3, 4, 5])
+        assert math.isclose(cdf(3) + cdf.survival(3), 1.0)
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf.from_samples([5.0, 1.0, 3.0])
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 5.0
+
+    def test_quantile_rejects_out_of_range(self):
+        cdf = EmpiricalCdf.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_stats(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0])
+        assert cdf.mean == 2.0
+        assert cdf.median == 2.0
+        assert cdf.min == 1.0 and cdf.max == 3.0
+
+    def test_series_is_step_data(self):
+        cdf = EmpiricalCdf.from_samples([3.0, 1.0, 2.0])
+        x, f = cdf.series()
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(f) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    @given(finite_samples)
+    def test_cdf_is_monotone(self, samples):
+        cdf = EmpiricalCdf.from_samples(samples)
+        points = sorted(samples)
+        values = [cdf(p) for p in points]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    @given(finite_samples)
+    def test_cdf_at_max_is_one(self, samples):
+        cdf = EmpiricalCdf.from_samples(samples)
+        assert cdf(max(samples)) == 1.0
+
+
+class TestFractionAtLeast:
+    def test_all_above(self):
+        assert fraction_at_least([2, 3, 4], 1.0) == 1.0
+
+    def test_half(self):
+        assert fraction_at_least([1, 1, 2, 2], 2.0) == 0.5
+
+    def test_threshold_inclusive(self):
+        assert fraction_at_least([1.2], 1.2) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_at_least([], 1.0)
+
+
+class TestGainSummary:
+    def test_keys_present(self):
+        summary = gain_cdf_summary([1.0, 1.1, 1.3])
+        for key in ("n", "mean", "median", "max", "min", "frac_no_gain",
+                    "frac_gain_over_10pct", "frac_gain_over_20pct"):
+            assert key in summary
+
+    def test_no_gain_fraction(self):
+        summary = gain_cdf_summary([1.0, 1.0, 1.5, 2.0])
+        assert summary["frac_no_gain"] == 0.5
+
+    def test_over_20pct(self):
+        summary = gain_cdf_summary([1.0, 1.19, 1.21, 1.5])
+        assert summary["frac_gain_over_20pct"] == 0.5

@@ -1,0 +1,88 @@
+"""Result-container tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.containers import GridResult, SweepResult, ascii_heatmap
+
+
+def make_grid(values=None):
+    x = np.array([0.0, 1.0, 2.0])
+    y = np.array([0.0, 1.0])
+    if values is None:
+        values = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+    return GridResult(name="g", x_label="x", y_label="y",
+                      x=x, y=y, values=values)
+
+
+class TestSweepResult:
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            SweepResult(name="s", x_label="x",
+                        x=np.array([1.0, 2.0]),
+                        series={"a": np.array([1.0])})
+
+    def test_row_strings_include_header(self):
+        sweep = SweepResult(name="s", x_label="snr",
+                            x=np.linspace(0, 10, 5),
+                            series={"gain": np.linspace(1, 2, 5)})
+        rows = sweep.row_strings()
+        assert "snr" in rows[0] and "gain" in rows[0]
+        assert len(rows) == 2 + 5
+
+    def test_row_strings_subsample(self):
+        sweep = SweepResult(name="s", x_label="x",
+                            x=np.linspace(0, 1, 100),
+                            series={"y": np.linspace(0, 1, 100)})
+        assert len(sweep.row_strings(max_rows=10)) == 12
+
+    def test_to_dict_round_trips_values(self):
+        sweep = SweepResult(name="s", x_label="x", x=np.array([1.0]),
+                            series={"y": np.array([2.0])}, meta={"k": 1})
+        d = sweep.to_dict()
+        assert d["series"]["y"] == [2.0]
+        assert d["meta"] == {"k": 1}
+
+
+class TestGridResult:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            make_grid(values=np.zeros((3, 2)))
+
+    def test_extrema(self):
+        grid = make_grid()
+        assert grid.min_value == 1.0
+        assert grid.max_value == 6.0
+
+    def test_argmax_coordinates(self):
+        grid = make_grid()
+        peak = grid.argmax()
+        assert peak["x"] == 2.0 and peak["y"] == 1.0 and peak["value"] == 6.0
+
+    def test_ridge_along_y(self):
+        values = np.array([[1.0, 9.0, 2.0],
+                           [7.0, 1.0, 1.0]])
+        grid = make_grid(values)
+        ridge = grid.ridge_along_y()
+        assert list(ridge) == [1.0, 0.0]
+
+    def test_summary_strings_mention_peak(self):
+        lines = make_grid().summary_strings()
+        assert any("peak" in line for line in lines)
+
+
+class TestAsciiHeatmap:
+    def test_dimensions(self):
+        art = ascii_heatmap(make_grid(), width=3, height=2)
+        lines = art.split("\n")
+        assert len(lines) == 2
+        assert all(len(line) == 3 for line in lines)
+
+    def test_max_maps_to_densest_char(self):
+        art = ascii_heatmap(make_grid(), width=3, height=2, charset=" @")
+        assert "@" in art
+
+    def test_constant_grid_does_not_crash(self):
+        grid = make_grid(values=np.ones((2, 3)))
+        art = ascii_heatmap(grid)
+        assert isinstance(art, str)

@@ -1,0 +1,71 @@
+"""RNG-plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, rng_fingerprint, spawn_rngs
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(99)
+        a = make_rng(seq).random(3)
+        b = make_rng(np.random.SeedSequence(99)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_distinct(self):
+        rngs = spawn_rngs(42, 3)
+        draws = [tuple(r.random(4)) for r in rngs]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_from_int_seed(self):
+        a = [r.random(3).tolist() for r in spawn_rngs(11, 2)]
+        b = [r.random(3).tolist() for r in spawn_rngs(11, 2)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(5)
+        rngs = spawn_rngs(gen, 2)
+        assert len(rngs) == 2
+        assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+
+class TestFingerprint:
+    def test_does_not_advance_source(self):
+        gen = make_rng(3)
+        before = rng_fingerprint(gen)
+        after = rng_fingerprint(gen)
+        assert before == after
+
+    def test_same_state_same_fingerprint(self):
+        assert rng_fingerprint(make_rng(8)) == rng_fingerprint(make_rng(8))
+
+    def test_different_state_different_fingerprint(self):
+        assert rng_fingerprint(make_rng(8)) != rng_fingerprint(make_rng(9))

@@ -1,0 +1,98 @@
+"""Unit-conversion tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    ratio_db,
+    watts_to_dbm,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_ten_db_is_ten(self):
+        assert math.isclose(db_to_linear(10.0), 10.0)
+
+    def test_three_db_is_about_two(self):
+        assert math.isclose(db_to_linear(3.0103), 2.0, rel_tol=1e-4)
+
+    def test_negative_db_is_fractional(self):
+        assert math.isclose(db_to_linear(-10.0), 0.1)
+
+    def test_linear_to_db_of_unity(self):
+        assert linear_to_db(1.0) == 0.0
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    def test_array_shapes_preserved(self):
+        values = np.array([0.0, 10.0, 20.0])
+        out = db_to_linear(values)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == values.shape
+
+    def test_scalar_comes_back_as_float(self):
+        assert isinstance(db_to_linear(5.0), float)
+        assert isinstance(linear_to_db(5.0), float)
+
+    @given(st.floats(min_value=-200.0, max_value=200.0))
+    def test_round_trip(self, value_db):
+        assert math.isclose(linear_to_db(db_to_linear(value_db)), value_db,
+                            abs_tol=1e-9)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0),
+           st.floats(min_value=-100.0, max_value=100.0))
+    def test_db_addition_is_linear_multiplication(self, a_db, b_db):
+        assert math.isclose(db_to_linear(a_db) * db_to_linear(b_db),
+                            db_to_linear(a_db + b_db), rel_tol=1e-9)
+
+
+class TestDbm:
+    def test_30_dbm_is_one_watt(self):
+        assert math.isclose(dbm_to_watts(30.0), 1.0)
+
+    def test_0_dbm_is_one_milliwatt(self):
+        assert math.isclose(dbm_to_watts(0.0), 1e-3)
+
+    def test_20_dbm_is_100_milliwatt(self):
+        assert math.isclose(dbm_to_watts(20.0), 0.1)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+    @given(st.floats(min_value=-150.0, max_value=80.0))
+    def test_round_trip(self, dbm):
+        assert math.isclose(watts_to_dbm(dbm_to_watts(dbm)), dbm,
+                            abs_tol=1e-9)
+
+
+class TestRatioDb:
+    def test_equal_powers_is_zero_db(self):
+        assert ratio_db(5.0, 5.0) == 0.0
+
+    def test_ten_to_one(self):
+        assert math.isclose(ratio_db(10.0, 1.0), 10.0)
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ratio_db(1.0, 0.0)
+
+    def test_rejects_zero_numerator(self):
+        with pytest.raises(ValueError):
+            ratio_db(0.0, 1.0)

@@ -1,0 +1,96 @@
+"""Validation-helper tests."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.inf)
+
+    def test_coerces_int_to_float(self):
+        out = check_positive("x", 3)
+        assert isinstance(out, float) and out == 3.0
+
+    def test_error_names_the_parameter(self):
+        with pytest.raises(ValueError, match="bandwidth_hz"):
+            check_positive("bandwidth_hz", -5)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-12)
+
+
+class TestCheckFinite:
+    def test_accepts_negative(self):
+        assert check_finite("x", -1.0) == -1.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_finite("x", math.nan)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_below_low(self):
+        with pytest.raises(ValueError, match=">="):
+            check_in_range("x", -0.1, 0.0, 1.0)
+
+    def test_above_high(self):
+        with pytest.raises(ValueError, match="<="):
+            check_in_range("x", 1.1, 0.0, 1.0)
+
+    def test_only_low_bound(self):
+        assert check_in_range("x", 100.0, low=0.0) == 100.0
+
+    def test_only_high_bound(self):
+        assert check_in_range("x", -100.0, high=0.0) == -100.0
+
+
+class TestCheckProbability:
+    def test_accepts_endpoints(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.0001)
