@@ -8,7 +8,26 @@ same rows/series the paper reports (visible with ``pytest -s``).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, List
+
+SAMPLES_ENV = "REPRO_BENCH_SAMPLES"
+FULL_SAMPLES = 10_000
+
+
+def bench_samples() -> int:
+    """Monte-Carlo draws per bench (``REPRO_BENCH_SAMPLES`` overrides).
+
+    The default is the paper-scale 10 000 draws.  CI smoke runs set the
+    environment variable to a smaller count to keep the job fast; the
+    benches skip their tightest statistical assertions below full scale.
+    """
+    return int(os.environ.get(SAMPLES_ENV, FULL_SAMPLES))
+
+
+def at_full_scale() -> bool:
+    """True when benches run at the paper's 10 000-draw evaluation scale."""
+    return bench_samples() >= FULL_SAMPLES
 
 
 def run_once(benchmark, fn: Callable, **kwargs):

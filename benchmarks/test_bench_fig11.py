@@ -1,12 +1,13 @@
 """Bench: Fig. 11 — technique CDFs for both topology classes."""
 
-from conftest import emit, run_once
+from conftest import at_full_scale, bench_samples, emit, run_once
 
 from repro.experiments import fig11
 
 
 def test_fig11_technique_cdfs(benchmark):
-    result = run_once(benchmark, fig11.compute, n_samples=10_000,
+    n_samples = bench_samples()
+    result = run_once(benchmark, fig11.compute, n_samples=n_samples,
                       seed=2010)
 
     one = result["one_receiver"]
@@ -20,10 +21,14 @@ def test_fig11_technique_cdfs(benchmark):
                   for t in ("power_control", "multirate", "packing"))
     assert boosted >= 0.20
     assert boosted >= 2.0 * sic_frac
-    assert two["sic"]["summary"]["frac_no_gain"] > 0.9
-    assert two["packing"]["summary"]["frac_gain_over_20pct"] <= 0.25
+    if at_full_scale():
+        assert two["sic"]["summary"]["frac_no_gain"] > 0.9
+        assert two["packing"]["summary"]["frac_gain_over_20pct"] <= 0.25
+    else:  # smoke scale: looser statistical floors
+        assert two["sic"]["summary"]["frac_no_gain"] > 0.8
+        assert two["packing"]["summary"]["frac_gain_over_20pct"] <= 0.35
 
-    lines = ["Fig. 11 — gain CDF summaries (10 000 draws)"]
+    lines = [f"Fig. 11 — gain CDF summaries ({n_samples} draws)"]
     for panel_name, panel in (("(a) two tx -> one rx", one),
                               ("(b) two tx -> two rx", two)):
         lines.append(panel_name)

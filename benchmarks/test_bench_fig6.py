@@ -1,22 +1,26 @@
 """Bench: Fig. 6 — Monte-Carlo CDF, two pairs to different receivers."""
 
-from conftest import emit, run_once
+from conftest import at_full_scale, bench_samples, emit, run_once
 
 from repro.experiments import fig6
 
 
 def test_fig6_monte_carlo(benchmark):
+    n_samples = bench_samples()
     result = run_once(benchmark, fig6.compute,
-                      ranges_m=(10.0, 20.0, 40.0), n_samples=10_000,
+                      ranges_m=(10.0, 20.0, 40.0), n_samples=n_samples,
                       seed=2010)
 
     # Paper headline: "no gain from SIC in 90 % of the cases".
     for label, entry in result.items():
-        assert entry["summary"]["frac_no_gain"] >= 0.85, label
+        if at_full_scale():
+            assert entry["summary"]["frac_no_gain"] >= 0.85, label
+        else:  # smoke scale: looser statistical floor
+            assert entry["summary"]["frac_no_gain"] >= 0.75, label
         assert entry["summary"]["max"] <= 2.0
 
-    lines = ["Fig. 6 — two transmitters to different receivers "
-             "(10 000 draws per range, alpha = 4)"]
+    lines = [f"Fig. 6 — two transmitters to different receivers "
+             f"({n_samples} draws per range, alpha = 4)"]
     for label, entry in result.items():
         s = entry["summary"]
         lines.append(

@@ -16,13 +16,21 @@ or from the command line::
 from repro.experiments.montecarlo import (
     MonteCarloConfig,
     one_receiver_technique_gains,
+    one_receiver_technique_gains_scalar,
     two_receiver_gains,
+    two_receiver_scenarios,
+    two_receiver_scenarios_scalar,
     two_receiver_technique_gains,
+    two_receiver_technique_gains_scalar,
 )
 
 __all__ = [
     "MonteCarloConfig",
     "one_receiver_technique_gains",
+    "one_receiver_technique_gains_scalar",
     "two_receiver_gains",
+    "two_receiver_scenarios",
+    "two_receiver_scenarios_scalar",
     "two_receiver_technique_gains",
+    "two_receiver_technique_gains_scalar",
 ]

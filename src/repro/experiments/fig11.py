@@ -5,25 +5,33 @@ reads roughly "20 % of cases gain over 20 %"), but power control /
 multirate / packing lift it to "over 20 % gain in 40 % of topologies";
 (b) two transmitters to two receivers: SIC alone has almost no gain and
 very little even with the optimizations.
+
+Runs on the batched Monte-Carlo engines; the two panels get spawned
+``SeedSequence`` children (stable content for the result cache), and
+``n_workers``/``chunk_size``/``cache`` pass straight through.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.montecarlo import (
+    CacheLike,
     MonteCarloConfig,
     one_receiver_technique_gains,
     two_receiver_technique_gains,
 )
 from repro.util.cdf import gain_cdf_summary
-from repro.util.rng import SeedLike, spawn_rngs
+from repro.util.rng import SeedLike, spawn_seed_sequences
 
 
 def compute(n_samples: int = 10_000,
             range_m: float = 20.0,
             pathloss_exponent: float = 4.0,
-            seed: SeedLike = 2010) -> Dict[str, Dict[str, object]]:
+            seed: SeedLike = 2010,
+            n_workers: int = 1,
+            chunk_size: Optional[int] = None,
+            cache: CacheLike = None) -> Dict[str, Dict[str, object]]:
     """Both panels: per-technique gain samples plus summaries.
 
     Returns ``{"one_receiver": {technique: {...}},
@@ -32,15 +40,17 @@ def compute(n_samples: int = 10_000,
     """
     config = MonteCarloConfig(n_samples=n_samples, range_m=range_m,
                               pathloss_exponent=pathloss_exponent)
-    rng_one, rng_two = spawn_rngs(seed, 2)
+    seed_one, seed_two = spawn_seed_sequences(seed, 2)
 
     result: Dict[str, Dict[str, object]] = {}
-    one = one_receiver_technique_gains(config, rng_one)
+    one = one_receiver_technique_gains(config, seed_one, n_workers=n_workers,
+                                       chunk_size=chunk_size, cache=cache)
     result["one_receiver"] = {
         technique: {"gains": gains, "summary": gain_cdf_summary(gains)}
         for technique, gains in one.items()
     }
-    two = two_receiver_technique_gains(config, rng_two)
+    two = two_receiver_technique_gains(config, seed_two, n_workers=n_workers,
+                                       chunk_size=chunk_size, cache=cache)
     result["two_receivers"] = {
         technique: {"gains": gains, "summary": gain_cdf_summary(gains)}
         for technique, gains in two.items()

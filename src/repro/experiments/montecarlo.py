@@ -8,26 +8,79 @@ The placement recipe follows Section 3.2: transmitters a fixed *range*
 apart, receivers uniform within range of their transmitter, RSS from
 log-distance path loss with exponent alpha (default 4), gain computed
 as ``Z_{-SIC} / Z_{+SIC}`` over 10 000 draws.
+
+Two implementations coexist:
+
+* the **scalar reference** (``*_scalar`` functions) evaluates one draw
+  at a time through the scalar building blocks
+  (:func:`repro.topology.generators.random_pair_topology`,
+  :func:`repro.sic.scenarios.evaluate_pair_scenario`, ...); it is the
+  executable specification the tests compare against;
+* the **batched engines** (the public names) sample whole chunks of
+  topologies as NumPy arrays and push them through the vectorised
+  building blocks — 10-100x faster at paper scale, same draws.
+
+Batched engines run the sweep in chunks.  With the default
+``chunk_size=None`` the whole run is one chunk drawn straight from the
+caller's seed, so results match the scalar reference draw for draw.
+With an explicit ``chunk_size`` each chunk gets its own child seed
+spawned deterministically from the caller's seed
+(`SeedSequence.spawn`), and ``n_workers > 1`` evaluates chunks in a
+process pool.  Chunking — and therefore every result — depends only on
+``(seed, n_samples, chunk_size)``, never on ``n_workers``, so a
+parallel run is bit-identical to a serial one.
+
+Results are memoised through :class:`repro.util.cache.ResultCache`
+(set ``REPRO_CACHE_DIR`` or pass an explicit cache) keyed by
+``(engine, config, seed, chunking, code version)``.  Bump
+:data:`MONTECARLO_CODE_VERSION` whenever the sampled distributions or
+the gain arithmetic change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.phy.noise import thermal_noise_watts
-from repro.phy.pathloss import LogDistancePathLoss
-from repro.phy.shannon import Channel
-from repro.sic.scenarios import PairRss, evaluate_pair_scenario
-from repro.techniques.multirate import multirate_pair_airtime
-from repro.techniques.packing import pack_pair_links
-from repro.techniques.power_control import power_controlled_pair_airtime
+from repro.phy.pathloss import LogDistancePathLoss, rss_from_distances
+from repro.phy.shannon import Channel, airtime, shannon_rate
+from repro.sic.scenarios import (
+    CASE_ORDER,
+    PairCase,
+    PairRss,
+    PairScenarioBatch,
+    evaluate_pair_scenario,
+    evaluate_pair_scenarios_batch,
+)
+from repro.techniques.multirate import (
+    multirate_pair_airtime,
+    multirate_pair_airtime_batch,
+)
+from repro.techniques.packing import pack_pair_gain_batch, pack_pair_links
+from repro.techniques.power_control import (
+    power_controlled_pair_airtime,
+    power_controlled_pair_airtime_batch,
+)
 from repro.sic.airtime import z_serial_same_receiver, z_sic_same_receiver
-from repro.topology.generators import random_pair_topology, random_uplink_clients
+from repro.topology.generators import (
+    random_pair_topologies,
+    random_pair_topology,
+    random_uplink_client_batch,
+    random_uplink_clients,
+)
 from repro.topology.nodes import DEFAULT_TX_POWER_W
-from repro.util.rng import SeedLike, make_rng
+from repro.util.cache import ResultCache
+from repro.util.rng import SeedLike, make_rng, spawn_seed_sequences
+
+#: Cache-invalidation tag for the batched engines: bump on any change
+#: to the sampling recipe or the gain arithmetic.
+MONTECARLO_CODE_VERSION = 1
+
+CacheLike = Optional[ResultCache]
 
 
 @dataclass(frozen=True)
@@ -53,21 +106,182 @@ class MonteCarloConfig:
         return LogDistancePathLoss(exponent=self.pathloss_exponent)
 
 
+# ---------------------------------------------------------------------------
+# Chunked execution substrate
+# ---------------------------------------------------------------------------
+
+def chunk_sizes(n_samples: int, chunk_size: Optional[int]) -> List[int]:
+    """Split ``n_samples`` into deterministic chunk lengths.
+
+    ``chunk_size=None`` keeps the whole run in a single chunk (the
+    draw-for-draw-compatible mode); otherwise full chunks of
+    ``chunk_size`` plus one remainder chunk.
+    """
+    if chunk_size is None:
+        return [n_samples]
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    full, remainder = divmod(n_samples, chunk_size)
+    return [chunk_size] * full + ([remainder] if remainder else [])
+
+
+def chunk_seeds(seed: SeedLike, n_chunks: int) -> List[SeedLike]:
+    """Per-chunk seeds, independent of worker count.
+
+    A single chunk consumes the caller's seed directly (so the batch
+    matches the scalar reference stream); multiple chunks get spawned
+    child ``SeedSequence`` objects, which are picklable and therefore
+    cross process boundaries unchanged.
+    """
+    if n_chunks == 1:
+        return [seed]
+    return list(spawn_seed_sequences(seed, n_chunks))
+
+
+def _seed_cache_token(seed: SeedLike):
+    """A stable, hashable rendering of ``seed`` — or None if the seed
+    cannot key a cache entry (OS entropy, stateful generators)."""
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence) and seed.entropy is not None:
+        return seed
+    return None
+
+
+def _resolve_cache(cache: CacheLike) -> ResultCache:
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache.from_env()
+
+
+def _run_chunked(engine: str,
+                 chunk_fn: Callable[..., Dict[str, np.ndarray]],
+                 config: MonteCarloConfig, seed: SeedLike,
+                 n_workers: int, chunk_size: Optional[int],
+                 cache: CacheLike,
+                 kwargs: Dict[str, object]) -> Dict[str, np.ndarray]:
+    """Run one batched engine: cache lookup, chunk fan-out, merge.
+
+    ``chunk_fn(config, seed, n, **kwargs)`` evaluates one chunk of
+    ``n`` draws and returns named 1-D arrays; chunks are concatenated
+    in order, so the merged arrays are independent of ``n_workers``.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    sizes = chunk_sizes(config.n_samples, chunk_size)
+    store = _resolve_cache(cache)
+    key = None
+    if store.enabled:
+        token = _seed_cache_token(seed)
+        if token is not None:
+            key = {"engine": engine,
+                   "code_version": MONTECARLO_CODE_VERSION,
+                   "config": asdict(config),
+                   "seed": token,
+                   "chunk_sizes": sizes,
+                   "kwargs": kwargs}
+            cached = store.get(key)
+            if cached is not None:
+                return cached
+
+    seeds = chunk_seeds(seed, len(sizes))
+    if n_workers > 1 and len(sizes) > 1:
+        workers = min(n_workers, len(sizes))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(chunk_fn, config, s, n, **kwargs)
+                       for s, n in zip(seeds, sizes)]
+            chunks = [future.result() for future in futures]
+    else:
+        chunks = [chunk_fn(config, s, n, **kwargs)
+                  for s, n in zip(seeds, sizes)]
+
+    merged = {name: np.concatenate([chunk[name] for chunk in chunks])
+              for name in chunks[0]}
+    if key is not None:
+        store.put(key, merged)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — two transmitter-receiver pairs
+# ---------------------------------------------------------------------------
+
 def two_receiver_gains(config: MonteCarloConfig,
-                       seed: SeedLike = None) -> np.ndarray:
+                       seed: SeedLike = None, *,
+                       n_workers: int = 1,
+                       chunk_size: Optional[int] = None,
+                       cache: CacheLike = None) -> np.ndarray:
     """Fig. 6: SIC gain samples for random two-pair topologies."""
-    gains, _ = two_receiver_scenarios(config, seed)
+    gains, _ = two_receiver_scenarios(config, seed, n_workers=n_workers,
+                                      chunk_size=chunk_size, cache=cache)
     return gains
 
 
+def _two_receiver_scenarios_chunk(config: MonteCarloConfig, seed: SeedLike,
+                                  n: int) -> Dict[str, np.ndarray]:
+    """One chunk of the batched Fig. 6 sweep."""
+    batch = _sample_pair_scenarios(config, seed, n)
+    return {"gains": batch.gains,
+            "case_codes": batch.case_codes,
+            "sic_feasible": batch.sic_feasible}
+
+
+def _sample_pair_scenarios(config: MonteCarloConfig, seed: SeedLike,
+                           n: int) -> PairScenarioBatch:
+    topologies = random_pair_topologies(n, config.range_m, make_rng(seed))
+    s11, s12, s21, s22 = _pair_rss_batch(topologies, config)
+    return evaluate_pair_scenarios_batch(config.channel(),
+                                         config.packet_bits,
+                                         s11, s12, s21, s22)
+
+
+def _pair_rss_batch(topologies, config: MonteCarloConfig
+                    ) -> Tuple[np.ndarray, np.ndarray,
+                               np.ndarray, np.ndarray]:
+    """The four S_j^k arrays of a pair-topology batch."""
+    model = config.propagation()
+    d11, d12, d21, d22 = topologies.link_distances()
+    return tuple(rss_from_distances(model, config.tx_power_w, d)
+                 for d in (d11, d12, d21, d22))
+
+
 def two_receiver_scenarios(config: MonteCarloConfig,
-                           seed: SeedLike = None
+                           seed: SeedLike = None, *,
+                           n_workers: int = 1,
+                           chunk_size: Optional[int] = None,
+                           cache: CacheLike = None
                            ) -> Tuple[np.ndarray, Dict[str, float]]:
     """Gain samples plus the Fig. 5 case mix of the sampled topologies.
 
     Returns ``(gains, case_fractions)`` where the fractions are keyed
     by the case letter ('a'..'d') plus ``'feasible'`` for the share of
     topologies where SIC was actually usable.
+
+    Vectorised engine; see the module docstring for the chunking,
+    ``n_workers`` and ``cache`` semantics.  The per-draw reference is
+    :func:`two_receiver_scenarios_scalar`.
+    """
+    raw = _run_chunked("two_receiver_scenarios",
+                       _two_receiver_scenarios_chunk,
+                       config, seed, n_workers, chunk_size, cache, {})
+    codes = raw["case_codes"].astype(np.uint8)
+    feasible = raw["sic_feasible"].astype(bool)
+    counts = np.bincount(codes, minlength=len(CASE_ORDER))
+    fractions = {case.value: int(count) / config.n_samples
+                 for case, count in zip(CASE_ORDER, counts)}
+    fractions["feasible"] = (int(np.count_nonzero(feasible))
+                             / config.n_samples)
+    return raw["gains"], fractions
+
+
+def two_receiver_scenarios_scalar(config: MonteCarloConfig,
+                                  seed: SeedLike = None
+                                  ) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Scalar reference implementation of :func:`two_receiver_scenarios`.
+
+    One topology per loop iteration through the scalar building blocks;
+    kept as the executable specification for the equivalence tests and
+    the speedup benchmark.
     """
     rng = make_rng(seed)
     channel = config.channel()
@@ -99,16 +313,85 @@ def _pair_rss(topo, model: LogDistancePathLoss, tx_power_w: float) -> PairRss:
     )
 
 
+# ---------------------------------------------------------------------------
+# Fig. 11a — two clients to one AP, per-technique gains
+# ---------------------------------------------------------------------------
+
+def _one_receiver_chunk(config: MonteCarloConfig, seed: SeedLike, n: int,
+                        max_fast_packets: int) -> Dict[str, np.ndarray]:
+    """One chunk of the batched Fig. 11a sweep."""
+    channel = config.channel()
+    model = config.propagation()
+    clients = random_uplink_client_batch(n, 2, config.range_m,
+                                         make_rng(seed))
+    rss = rss_from_distances(model, config.tx_power_w,
+                             clients.ap_distances())
+    s1, s2 = rss[:, 0], rss[:, 1]
+    serial = np.asarray(z_serial_same_receiver(channel, config.packet_bits,
+                                               s1, s2), dtype=float)
+    sic = np.asarray(z_sic_same_receiver(channel, config.packet_bits,
+                                         s1, s2), dtype=float)
+    pc = power_controlled_pair_airtime_batch(channel, config.packet_bits,
+                                             s1, s2)
+    mr = multirate_pair_airtime_batch(channel, config.packet_bits, s1, s2)
+    return {
+        "sic": np.maximum(1.0, serial / sic),
+        "power_control": np.maximum(1.0, serial / pc),
+        "multirate": np.maximum(1.0, serial / mr),
+        "packing": _one_receiver_packing_gain_batch(
+            channel, config.packet_bits, s1, s2, max_fast_packets),
+    }
+
+
+def _one_receiver_packing_gain_batch(channel: Channel, packet_bits: float,
+                                     s1: np.ndarray, s2: np.ndarray,
+                                     max_fast_packets: int) -> np.ndarray:
+    """Vectorised :func:`one_receiver_packing_gain`."""
+    strong = np.maximum(s1, s2)
+    weak = np.minimum(s1, s2)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+    t_strong = np.asarray(
+        airtime(packet_bits, shannon_rate(b, strong, weak, n0)), dtype=float)
+    t_weak = np.asarray(
+        airtime(packet_bits, shannon_rate(b, weak, 0.0, n0)), dtype=float)
+    strong_is_slow = t_strong >= t_weak
+    return pack_pair_gain_batch(
+        channel, packet_bits,
+        slow_rss_w=np.where(strong_is_slow, strong, weak),
+        slow_interference_w=np.where(strong_is_slow, weak, 0.0),
+        fast_rss_w=np.where(strong_is_slow, weak, strong),
+        fast_interference_w=np.where(strong_is_slow, 0.0, weak),
+        max_fast_packets=max_fast_packets)
+
+
 def one_receiver_technique_gains(config: MonteCarloConfig,
                                  seed: SeedLike = None,
-                                 max_fast_packets: int = 8,
+                                 max_fast_packets: int = 8, *,
+                                 n_workers: int = 1,
+                                 chunk_size: Optional[int] = None,
+                                 cache: CacheLike = None,
                                  ) -> Dict[str, np.ndarray]:
     """Fig. 11a: per-technique gain samples, two clients to one AP.
 
     Returns gain arrays keyed by technique: plain ``sic``,
     ``power_control``, ``multirate``, ``packing``.  Every gain is
     clipped below at 1 (the MAC never uses a losing strategy).
+
+    Vectorised engine; the per-draw reference is
+    :func:`one_receiver_technique_gains_scalar`.
     """
+    return _run_chunked("one_receiver_technique_gains",
+                        _one_receiver_chunk, config, seed, n_workers,
+                        chunk_size, cache,
+                        {"max_fast_packets": max_fast_packets})
+
+
+def one_receiver_technique_gains_scalar(config: MonteCarloConfig,
+                                        seed: SeedLike = None,
+                                        max_fast_packets: int = 8,
+                                        ) -> Dict[str, np.ndarray]:
+    """Scalar reference implementation of
+    :func:`one_receiver_technique_gains`."""
     rng = make_rng(seed)
     channel = config.channel()
     model = config.propagation()
@@ -146,7 +429,6 @@ def one_receiver_packing_gain(channel: Channel, packet_bits: float,
     """
     strong, weak = max(s1, s2), min(s1, s2)
     b, n0 = channel.bandwidth_hz, channel.noise_w
-    from repro.phy.shannon import airtime, shannon_rate
     t_strong = float(airtime(packet_bits, shannon_rate(b, strong, weak, n0)))
     t_weak = float(airtime(packet_bits, shannon_rate(b, weak, 0.0, n0)))
     if t_strong >= t_weak:
@@ -164,9 +446,33 @@ def one_receiver_packing_gain(channel: Channel, packet_bits: float,
     return packed.gain
 
 
+# ---------------------------------------------------------------------------
+# Fig. 11b — two transmitter-receiver pairs, per-technique gains
+# ---------------------------------------------------------------------------
+
+def _two_receiver_technique_chunk(config: MonteCarloConfig, seed: SeedLike,
+                                  n: int, max_fast_packets: int
+                                  ) -> Dict[str, np.ndarray]:
+    """One chunk of the batched Fig. 11b sweep."""
+    topologies = random_pair_topologies(n, config.range_m, make_rng(seed))
+    s11, s12, s21, s22 = _pair_rss_batch(topologies, config)
+    channel = config.channel()
+    scenarios = evaluate_pair_scenarios_batch(channel, config.packet_bits,
+                                              s11, s12, s21, s22)
+    return {
+        "sic": scenarios.gains,
+        "packing": two_receiver_packing_gain_batch(
+            channel, config.packet_bits, s11, s12, s21, s22, scenarios,
+            max_fast_packets),
+    }
+
+
 def two_receiver_technique_gains(config: MonteCarloConfig,
                                  seed: SeedLike = None,
-                                 max_fast_packets: int = 8,
+                                 max_fast_packets: int = 8, *,
+                                 n_workers: int = 1,
+                                 chunk_size: Optional[int] = None,
+                                 cache: CacheLike = None,
                                  ) -> Dict[str, np.ndarray]:
     """Fig. 11b: gain samples for two transmitter-receiver pairs.
 
@@ -174,7 +480,22 @@ def two_receiver_technique_gains(config: MonteCarloConfig,
     notes multirate packetization "is not possible in a two transmitter,
     two receiver scenario", and power control across independent links
     is not considered.
+
+    Vectorised engine; the per-draw reference is
+    :func:`two_receiver_technique_gains_scalar`.
     """
+    return _run_chunked("two_receiver_technique_gains",
+                        _two_receiver_technique_chunk, config, seed,
+                        n_workers, chunk_size, cache,
+                        {"max_fast_packets": max_fast_packets})
+
+
+def two_receiver_technique_gains_scalar(config: MonteCarloConfig,
+                                        seed: SeedLike = None,
+                                        max_fast_packets: int = 8,
+                                        ) -> Dict[str, np.ndarray]:
+    """Scalar reference implementation of
+    :func:`two_receiver_technique_gains`."""
     rng = make_rng(seed)
     channel = config.channel()
     model = config.propagation()
@@ -200,9 +521,6 @@ def two_receiver_packing_gain(channel: Channel, packet_bits: float,
     several packets under the resulting long airtime.  Clipped below at
     the plain-SIC gain (the MAC never packs when it loses).
     """
-    from repro.phy.shannon import airtime, shannon_rate
-    from repro.sic.scenarios import PairCase
-
     b, n0 = channel.bandwidth_hz, channel.noise_w
     if scenario.case is PairCase.SIC_AT_R2:
         # T1's rate must be decodable at R1 (capture through T2's
@@ -237,6 +555,70 @@ def two_receiver_packing_gain(channel: Channel, packet_bits: float,
     return max(scenario.gain, 1.0, serial / packed_time)
 
 
+def two_receiver_packing_gain_batch(channel: Channel, packet_bits: float,
+                                    s11: np.ndarray, s12: np.ndarray,
+                                    s21: np.ndarray, s22: np.ndarray,
+                                    scenarios: PairScenarioBatch,
+                                    max_fast_packets: int = 8) -> np.ndarray:
+    """Vectorised :func:`two_receiver_packing_gain` over an RSS batch.
+
+    Element ``k`` equals the scalar function on
+    ``PairRss(s11[k], s12[k], s21[k], s22[k])`` with the matching
+    scenario.
+    """
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+    codes = scenarios.case_codes
+    sic_gain = scenarios.gains
+
+    # Constrained rate of the cancelled transmitter, per case (the min
+    # over both receivers' decodable SINRs), expressed through the same
+    # ``shannon_rate(b, sinr * n0, 0, n0)`` round-trip as the scalar.
+    sinr_1_b = np.minimum(s11 / (s12 + n0), s21 / (s22 + n0))
+    sinr_2_c = np.minimum(s22 / (s21 + n0), s12 / (s11 + n0))
+    sinr_1_d = np.minimum(s11 / n0, s21 / (s22 + n0))
+    sinr_2_d = np.minimum(s22 / n0, s12 / (s11 + n0))
+    rate_1_clean = np.asarray(shannon_rate(b, s11, 0.0, n0), dtype=float)
+    rate_2_clean = np.asarray(shannon_rate(b, s22, 0.0, n0), dtype=float)
+    rate_1 = np.select(
+        [codes == 1, codes == 2],
+        [np.asarray(shannon_rate(b, sinr_1_b * n0, 0.0, n0), dtype=float),
+         rate_1_clean],
+        default=np.asarray(shannon_rate(b, sinr_1_d * n0, 0.0, n0),
+                           dtype=float))
+    rate_2 = np.select(
+        [codes == 1, codes == 2],
+        [rate_2_clean,
+         np.asarray(shannon_rate(b, sinr_2_c * n0, 0.0, n0), dtype=float)],
+        default=np.asarray(shannon_rate(b, sinr_2_d * n0, 0.0, n0),
+                           dtype=float))
+
+    t1 = np.asarray(airtime(packet_bits, rate_1), dtype=float)
+    t2 = np.asarray(airtime(packet_bits, rate_2), dtype=float)
+    t1_clean = np.asarray(airtime(packet_bits, rate_1_clean), dtype=float)
+    t2_clean = np.asarray(airtime(packet_bits, rate_2_clean), dtype=float)
+
+    # Slow/fast assignment matches the scalar's lexicographic sort of
+    # (airtime, clean airtime) pairs.
+    one_is_slow = (t1 > t2) | ((t1 == t2) & (t1_clean >= t2_clean))
+    t_slow = np.where(one_is_slow, t1, t2)
+    slow_clean = np.where(one_is_slow, t1_clean, t2_clean)
+    t_fast = np.where(one_is_slow, t2, t1)
+    fast_clean = np.where(one_is_slow, t2_clean, t1_clean)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        k = np.clip(np.floor_divide(t_slow, t_fast), 1, max_fast_packets)
+    k = np.where(np.isfinite(k), k, 1.0)
+    packed_time = np.maximum(t_slow, k * t_fast)
+    serial = slow_clean + k * fast_clean
+    safe_packed = np.where(packed_time > 0.0, packed_time, 1.0)
+    packed_gain = np.maximum(sic_gain,
+                             np.maximum(1.0, serial / safe_packed))
+
+    not_applicable = ((codes == 0) | (rate_1 <= 0.0) | (rate_2 <= 0.0)
+                      | (packed_time <= 0.0))
+    return np.where(not_applicable, sic_gain, packed_gain)
+
+
 def _legacy_two_receiver_packing_gain(channel: Channel, packet_bits: float,
                                       rss: PairRss, scenario,
                                       max_fast_packets: int) -> float:
@@ -245,7 +627,6 @@ def _legacy_two_receiver_packing_gain(channel: Channel, packet_bits: float,
     Kept for the ablation bench: contrasts the rate-constrained packing
     above with packing that cannot lower the cancelled signal's rate.
     """
-    from repro.sic.scenarios import PairCase
     if not scenario.sic_feasible:
         return scenario.gain
     if scenario.case is PairCase.SIC_AT_R2:

@@ -24,6 +24,7 @@ from repro.phy.pathloss import (
     LogDistancePathLoss,
     PropagationModel,
     received_power,
+    rss_from_distances,
 )
 from repro.phy.rates import (
     DOT11B,
@@ -53,6 +54,7 @@ __all__ = [
     "best_discrete_rate",
     "packet_success_probability",
     "received_power",
+    "rss_from_distances",
     "shannon_rate",
     "sinr",
     "thermal_noise_watts",

@@ -131,6 +131,20 @@ class LogDistancePathLoss(PropagationModel):
         return power_w * np.asarray(db_to_linear(shadow_db), dtype=float)
 
 
+def rss_from_distances(model: PropagationModel, tx_power_w: float,
+                       distances_m: np.ndarray) -> np.ndarray:
+    """Batched RSS: one ``received_power`` call over a distance array.
+
+    The vectorised Monte-Carlo engines route every RSS computation
+    through here so a whole batch of topologies resolves to watts in a
+    single array expression.  The result is always an ``ndarray`` (the
+    scalar convenience path returns plain floats for 0-d inputs).
+    """
+    distances = np.asarray(distances_m, dtype=float)
+    power = model.received_power(tx_power_w, distances)
+    return np.asarray(power, dtype=float)
+
+
 def received_power(tx_power_w: float, distance_m: ArrayLike,
                    model: Optional[PropagationModel] = None,
                    rng: SeedLike = None) -> ArrayLike:

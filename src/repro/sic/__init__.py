@@ -38,14 +38,18 @@ from repro.sic.regions import TwoUserRegion, two_user_region
 from repro.sic.scenarios import (
     PairCase,
     PairScenario,
+    PairScenarioBatch,
     classify_pair_case,
+    classify_pair_cases_batch,
     evaluate_pair_scenario,
+    evaluate_pair_scenarios_batch,
 )
 
 __all__ = [
     "CollisionOutcome",
     "PairCase",
     "PairScenario",
+    "PairScenarioBatch",
     "SicReceiver",
     "SuccessiveReceiver",
     "Transmission",
@@ -55,8 +59,10 @@ __all__ = [
     "capacity_with_sic",
     "capacity_without_sic",
     "classify_pair_case",
+    "classify_pair_cases_batch",
     "download_gain_two_aps_one_client",
     "evaluate_pair_scenario",
+    "evaluate_pair_scenarios_batch",
     "ksic_uplink_gain",
     "rate_region_corners",
     "successive_rate_limits",

@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
 
 from repro.phy.shannon import Channel, airtime, shannon_rate
 from repro.util.validation import check_positive
@@ -145,3 +148,119 @@ def evaluate_pair_scenario(channel: Channel, packet_bits: float,
     feasible = feasible_r1 and feasible_r2
     z_sic = max(t1_clean, t2_clean)
     return PairScenario(case, feasible, z_serial, z_sic)
+
+
+#: ``case_codes`` value -> :class:`PairCase`, in Fig. 5 letter order.
+CASE_ORDER = (PairCase.BOTH_CAPTURE, PairCase.SIC_AT_R2,
+              PairCase.SIC_AT_R1, PairCase.SIC_AT_BOTH)
+
+
+@dataclass(frozen=True)
+class PairScenarioBatch:
+    """Array-of-structs result of analysing N two-pair topologies.
+
+    ``case_codes[k]`` indexes :data:`CASE_ORDER` (0='a' .. 3='d'); the
+    remaining arrays mirror the fields of :class:`PairScenario`
+    element-wise.
+    """
+
+    case_codes: np.ndarray     # uint8 in {0, 1, 2, 3}
+    sic_feasible: np.ndarray   # bool
+    z_serial_s: np.ndarray
+    z_sic_s: np.ndarray
+
+    def __len__(self) -> int:
+        return self.case_codes.shape[0]
+
+    @property
+    def gains(self) -> np.ndarray:
+        """Element-wise ``Z_{-SIC} / Z_{+SIC}``, clipped exactly like
+        :attr:`PairScenario.gain`."""
+        usable = self.sic_feasible & (self.z_sic_s > 0.0)
+        safe_z_sic = np.where(usable, self.z_sic_s, 1.0)
+        ratio = np.where(usable, self.z_serial_s / safe_z_sic, 1.0)
+        return np.maximum(1.0, ratio)
+
+    def case_fractions(self) -> Dict[str, float]:
+        """Fig. 5 case mix plus the feasible share (keys 'a'..'d',
+        'feasible'), matching the scalar engine's bookkeeping."""
+        n = len(self)
+        counts = np.bincount(self.case_codes, minlength=len(CASE_ORDER))
+        fractions = {case.value: int(count) / n
+                     for case, count in zip(CASE_ORDER, counts)}
+        fractions["feasible"] = int(np.count_nonzero(self.sic_feasible)) / n
+        return fractions
+
+    def scenario(self, k: int) -> PairScenario:
+        """Materialise element ``k`` as a scalar :class:`PairScenario`."""
+        return PairScenario(case=CASE_ORDER[int(self.case_codes[k])],
+                            sic_feasible=bool(self.sic_feasible[k]),
+                            z_serial_s=float(self.z_serial_s[k]),
+                            z_sic_s=float(self.z_sic_s[k]))
+
+
+def classify_pair_cases_batch(s11: np.ndarray, s12: np.ndarray,
+                              s21: np.ndarray, s22: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`classify_pair_case`: uint8 codes into
+    :data:`CASE_ORDER`."""
+    r1_captures = s11 > s12
+    r2_captures = s22 > s21
+    codes = np.full(np.broadcast(s11, s22).shape, 3, dtype=np.uint8)
+    codes[r1_captures & r2_captures] = 0
+    codes[r1_captures & ~r2_captures] = 1
+    codes[~r1_captures & r2_captures] = 2
+    return codes
+
+
+def evaluate_pair_scenarios_batch(channel: Channel, packet_bits: float,
+                                  s11: np.ndarray, s12: np.ndarray,
+                                  s21: np.ndarray, s22: np.ndarray
+                                  ) -> PairScenarioBatch:
+    """Vectorised :func:`evaluate_pair_scenario` over RSS arrays.
+
+    Applies the same case-by-case feasibility conditions and Eq. 7-9
+    completion times with boolean masks instead of branches; element
+    ``k`` of the result equals
+    ``evaluate_pair_scenario(channel, packet_bits, PairRss(s11[k], ...))``
+    up to floating-point associativity (the arithmetic is identical).
+    """
+    check_positive("packet_bits", packet_bits)
+    s11, s12, s21, s22 = np.broadcast_arrays(
+        *(np.asarray(s, dtype=float) for s in (s11, s12, s21, s22)))
+    for name, values in (("s11", s11), ("s12", s12),
+                         ("s21", s21), ("s22", s22)):
+        if np.any(values <= 0.0):
+            raise ValueError(f"{name} values must be positive")
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+    codes = classify_pair_cases_batch(s11, s12, s21, s22)
+
+    t1_clean = np.asarray(
+        airtime(packet_bits, shannon_rate(b, s11, 0.0, n0)), dtype=float)
+    t2_clean = np.asarray(
+        airtime(packet_bits, shannon_rate(b, s22, 0.0, n0)), dtype=float)
+    z_serial = t1_clean + t2_clean
+
+    # Interference-limited airtimes used by cases B and C (Eq. 7).
+    t1_interfered = np.asarray(
+        airtime(packet_bits, shannon_rate(b, s11, s12, n0)), dtype=float)
+    t2_interfered = np.asarray(
+        airtime(packet_bits, shannon_rate(b, s22, s21, n0)), dtype=float)
+
+    # Per-case feasibility (the scalar function's three conditions).
+    feasible_b = s21 / (s22 + n0) > s11 / (s12 + n0)
+    feasible_c = s12 / (s11 + n0) > s22 / (s21 + n0)
+    feasible_d = ((s21 / (s22 + n0) > s11 / n0)
+                  & (s12 / (s11 + n0) > s22 / n0))
+
+    z_sic = np.select(
+        [codes == 0, codes == 1, codes == 2],
+        [z_serial,
+         np.maximum(t1_interfered, t2_clean),
+         np.maximum(t2_interfered, t1_clean)],
+        default=np.maximum(t1_clean, t2_clean))
+    feasible = np.select(
+        [codes == 0, codes == 1, codes == 2],
+        [np.zeros_like(feasible_b), feasible_b, feasible_c],
+        default=feasible_d)
+    return PairScenarioBatch(case_codes=codes, sic_feasible=feasible,
+                             z_serial_s=z_serial, z_sic_s=z_sic)

@@ -10,8 +10,12 @@
   gap under a slow packet with extra fast packets (Section 5.4).
 """
 
-from repro.techniques.multirate import multirate_pair_airtime
+from repro.techniques.multirate import (
+    multirate_pair_airtime,
+    multirate_pair_airtime_batch,
+)
 from repro.techniques.packing import (
+    pack_pair_gain_batch,
     pack_pair_links,
     pack_uplink_airtime,
 )
@@ -22,6 +26,7 @@ from repro.techniques.pairing import (
 )
 from repro.techniques.power_control import (
     power_controlled_pair_airtime,
+    power_controlled_pair_airtime_batch,
     equal_rate_weak_rss,
 )
 
@@ -30,8 +35,11 @@ __all__ = [
     "TechniqueSet",
     "equal_rate_weak_rss",
     "multirate_pair_airtime",
+    "multirate_pair_airtime_batch",
+    "pack_pair_gain_batch",
     "pack_pair_links",
     "pack_uplink_airtime",
     "pair_airtime",
     "power_controlled_pair_airtime",
+    "power_controlled_pair_airtime_batch",
 ]

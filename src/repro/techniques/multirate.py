@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.phy.shannon import Channel, airtime, shannon_rate
 from repro.util.validation import check_positive
 
@@ -70,3 +72,36 @@ def multirate_pair_airtime(channel: Channel, packet_bits: float,
     return MultiratePair(airtime_s=t_weak + boost,
                          overlap_s=t_weak,
                          boost_s=boost)
+
+
+def multirate_pair_airtime_batch(channel: Channel, packet_bits: float,
+                                 rss_a_w: np.ndarray,
+                                 rss_b_w: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`multirate_pair_airtime` (airtimes only).
+
+    Element ``k`` equals
+    ``multirate_pair_airtime(channel, packet_bits, a[k], b[k]).airtime_s``.
+    """
+    check_positive("packet_bits", packet_bits)
+    rss_a = np.asarray(rss_a_w, dtype=float)
+    rss_b = np.asarray(rss_b_w, dtype=float)
+    if np.any(rss_a <= 0.0) or np.any(rss_b <= 0.0):
+        raise ValueError("RSS values must be positive")
+    strong = np.maximum(rss_a, rss_b)
+    weak = np.minimum(rss_a, rss_b)
+    b, n0 = channel.bandwidth_hz, channel.noise_w
+
+    rate_strong_interfered = np.asarray(
+        shannon_rate(b, strong, weak, n0), dtype=float)
+    rate_strong_clean = np.asarray(
+        shannon_rate(b, strong, 0.0, n0), dtype=float)
+    rate_weak_clean = np.asarray(
+        shannon_rate(b, weak, 0.0, n0), dtype=float)
+
+    t_weak = np.asarray(airtime(packet_bits, rate_weak_clean), dtype=float)
+    t_strong_interfered = np.asarray(
+        airtime(packet_bits, rate_strong_interfered), dtype=float)
+
+    bits_in_overlap = rate_strong_interfered * t_weak
+    boost = (packet_bits - bits_in_overlap) / rate_strong_clean
+    return np.where(t_strong_interfered <= t_weak, t_weak, t_weak + boost)

@@ -13,7 +13,9 @@ Provides the node placements every experiment consumes:
 from repro.topology.geometry import Point, distance
 from repro.topology.nodes import AccessPoint, Client, Node, Radio
 from repro.topology.generators import (
+    random_pair_topologies,
     random_pair_topology,
+    random_uplink_client_batch,
     random_uplink_clients,
     residential_row,
     mesh_chain,
@@ -29,7 +31,9 @@ __all__ = [
     "distance",
     "ewlan_grid",
     "mesh_chain",
+    "random_pair_topologies",
     "random_pair_topology",
+    "random_uplink_client_batch",
     "random_uplink_clients",
     "residential_row",
 ]

@@ -14,12 +14,25 @@ scenario from the paper:
   home, clients confined to their own home's AP;
 * :func:`mesh_chain` — the multihop chain A->C->D->E of Section 4.3
   with a long-short-long hop structure.
+
+The Monte-Carlo sweeps draw the first two scenarios tens of thousands
+of times, so each also has a batched counterpart
+(:func:`random_pair_topologies`, :func:`random_uplink_client_batch`)
+that samples N placements as NumPy arrays in one shot.  The batched
+samplers consume the generator's uniform stream in exactly the order
+the scalar ones do, so draw ``k`` of a batch is the same topology the
+scalar generator would produce on its ``k``-th call with the same
+generator.
 """
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import List, Tuple
+
+import numpy as np
 
 from repro.topology.geometry import (
     Point,
@@ -80,6 +93,85 @@ def random_pair_topology(range_m: float, rng: SeedLike = None,
 
 
 @dataclass(frozen=True)
+class PairTopologyBatch:
+    """N two-pair placements as coordinate arrays (the batched Fig. 6 draw).
+
+    Transmitters are fixed at ``(0, 0)`` and ``(separation_m, 0)`` for
+    every draw; only the receiver coordinates vary.  All arrays have
+    shape ``(n,)``.
+    """
+
+    separation_m: float
+    r1_x: np.ndarray
+    r1_y: np.ndarray
+    r2_x: np.ndarray
+    r2_y: np.ndarray
+
+    def __len__(self) -> int:
+        return self.r1_x.shape[0]
+
+    def link_distances(self) -> Tuple[np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]:
+        """The four Tx-Rx distances ``(d11, d12, d21, d22)``.
+
+        ``d_jk`` is the distance from transmitter k to receiver j,
+        matching the paper's ``S_j^k`` RSS indexing.
+        """
+        d11 = np.hypot(self.r1_x, self.r1_y)
+        d12 = np.hypot(self.separation_m - self.r1_x, self.r1_y)
+        d21 = np.hypot(self.r2_x, self.r2_y)
+        d22 = np.hypot(self.separation_m - self.r2_x, self.r2_y)
+        return d11, d12, d21, d22
+
+    def topology(self, k: int) -> PairTopology:
+        """Materialise draw ``k`` as a scalar :class:`PairTopology`."""
+        return PairTopology(
+            t1=Radio("T1", Point(0.0, 0.0)),
+            r1=Radio("R1", Point(float(self.r1_x[k]), float(self.r1_y[k]))),
+            t2=Radio("T2", Point(self.separation_m, 0.0)),
+            r2=Radio("R2", Point(float(self.r2_x[k]), float(self.r2_y[k]))),
+        )
+
+
+def _annulus_radii(u: np.ndarray, radius_m: float,
+                   min_radius_m: float) -> np.ndarray:
+    """Area-uniform radii from unit draws (vector form of the disk rule)."""
+    span = radius_m ** 2 - min_radius_m ** 2
+    return np.sqrt(u * span + min_radius_m ** 2)
+
+
+def random_pair_topologies(n: int, range_m: float, rng: SeedLike = None,
+                           separation_m: float = None) -> PairTopologyBatch:
+    """Draw ``n`` pair topologies at once as coordinate arrays.
+
+    Batched counterpart of :func:`random_pair_topology`: same placement
+    recipe, same uniform-stream consumption order (r1's radius draw,
+    r1's angle, r2's radius, r2's angle, per topology), so a batch of
+    ``n`` reproduces ``n`` successive scalar draws from the same
+    generator.
+    """
+    if n < 1:
+        raise ValueError("need at least one topology")
+    check_positive("range_m", range_m)
+    if separation_m is None:
+        separation_m = range_m
+    check_positive("separation_m", separation_m)
+    generator = make_rng(rng)
+    draws = generator.random((n, 4))
+    r1_r = _annulus_radii(draws[:, 0], range_m, MIN_LINK_DISTANCE_M)
+    r1_theta = draws[:, 1] * (2.0 * math.pi)
+    r2_r = _annulus_radii(draws[:, 2], range_m, MIN_LINK_DISTANCE_M)
+    r2_theta = draws[:, 3] * (2.0 * math.pi)
+    return PairTopologyBatch(
+        separation_m=float(separation_m),
+        r1_x=r1_r * np.cos(r1_theta),
+        r1_y=r1_r * np.sin(r1_theta),
+        r2_x=separation_m + r2_r * np.cos(r2_theta),
+        r2_y=r2_r * np.sin(r2_theta),
+    )
+
+
+@dataclass(frozen=True)
 class UplinkTopology:
     """One AP and a set of backlogged clients (the upload scenario)."""
 
@@ -107,6 +199,64 @@ def random_uplink_clients(n_clients: int, cell_radius_m: float,
         for i in range(n_clients)
     )
     return UplinkTopology(ap=ap, clients=clients)
+
+
+@dataclass(frozen=True)
+class UplinkClientBatch:
+    """N uplink placements of ``m`` clients each, as coordinate arrays.
+
+    The AP sits at the origin for every draw; ``x``/``y`` have shape
+    ``(n, m)``.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_clients(self) -> int:
+        return self.x.shape[1]
+
+    def ap_distances(self) -> np.ndarray:
+        """Client-to-AP distances, shape ``(n, m)``."""
+        return np.hypot(self.x, self.y)
+
+    def topology(self, k: int, ap_name: str = "AP1") -> UplinkTopology:
+        """Materialise draw ``k`` as a scalar :class:`UplinkTopology`."""
+        ap = AccessPoint(ap_name, Point(0.0, 0.0))
+        clients = tuple(
+            Client(f"C{i + 1}", Point(float(self.x[k, i]), float(self.y[k, i])),
+                   associated_ap=ap_name)
+            for i in range(self.n_clients)
+        )
+        return UplinkTopology(ap=ap, clients=clients)
+
+
+def random_uplink_client_batch(n: int, n_clients: int, cell_radius_m: float,
+                               rng: SeedLike = None,
+                               min_distance_m: float = MIN_LINK_DISTANCE_M,
+                               ) -> UplinkClientBatch:
+    """Draw ``n`` uplink placements of ``n_clients`` clients at once.
+
+    Batched counterpart of :func:`random_uplink_clients` with the same
+    uniform-stream consumption order (radius draw then angle, client by
+    client, topology by topology).
+    """
+    if n < 1:
+        raise ValueError("need at least one topology")
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    check_positive("cell_radius_m", cell_radius_m)
+    if not 0.0 <= min_distance_m < cell_radius_m:
+        raise ValueError("need 0 <= min_distance_m < cell_radius_m")
+    generator = make_rng(rng)
+    draws = generator.random((n, n_clients, 2))
+    radii = _annulus_radii(draws[..., 0], cell_radius_m, min_distance_m)
+    theta = draws[..., 1] * (2.0 * math.pi)
+    return UplinkClientBatch(x=radii * np.cos(theta),
+                             y=radii * np.sin(theta))
 
 
 @dataclass(frozen=True)

@@ -6,9 +6,10 @@ internally, dB only at the API boundary, explicit seeded RNGs everywhere)
 are what keep the rest of the reproduction numerically honest.
 """
 
+from repro.util.cache import ResultCache, stable_hash
 from repro.util.cdf import EmpiricalCdf, fraction_at_least, gain_cdf_summary
 from repro.util.containers import GridResult, SweepResult
-from repro.util.rng import make_rng, spawn_rngs
+from repro.util.rng import make_rng, spawn_rngs, spawn_seed_sequences
 from repro.util.units import (
     db_to_linear,
     dbm_to_watts,
@@ -25,6 +26,7 @@ from repro.util.validation import (
 __all__ = [
     "EmpiricalCdf",
     "GridResult",
+    "ResultCache",
     "SweepResult",
     "check_finite",
     "check_in_range",
@@ -37,5 +39,7 @@ __all__ = [
     "make_rng",
     "ratio_db",
     "spawn_rngs",
+    "spawn_seed_sequences",
+    "stable_hash",
     "watts_to_dbm",
 ]

@@ -1,0 +1,137 @@
+"""Deterministic on-disk cache for Monte-Carlo results.
+
+The batched Monte-Carlo engines are pure functions of
+``(engine name, config, seed, code version)``: running one twice with
+the same key always yields bit-identical arrays.  That makes their
+results safe to memoise on disk — figure modules and benchmarks can
+reuse the 10 000-draw sample sets instead of recomputing them.
+
+Keys are built from a canonical JSON rendering of the key parts and
+hashed with SHA-256; each entry is one ``<hash>.npz`` file (the arrays)
+plus one ``<hash>.json`` sidecar (the human-readable key, for cache
+inspection and debugging).  Invalidation is by construction: any change
+to the config, the seed, or the engine's ``code_version`` constant
+changes the hash, so stale entries are simply never read again.
+
+The cache root resolves in this order:
+
+1. an explicit ``root`` argument;
+2. the ``REPRO_CACHE_DIR`` environment variable;
+3. disabled (``ResultCache.from_env()`` returns an inert cache), so
+   nothing is written unless the user opted in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+#: Environment variable naming the cache directory (enables caching).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _canonical(value):
+    """Reduce a key part to JSON-serialisable canonical form."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.random.SeedSequence):
+        return {"entropy": _canonical(value.entropy),
+                "spawn_key": list(value.spawn_key)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"unhashable cache key part: {value!r}")
+
+
+def stable_hash(key_parts: Mapping[str, object]) -> str:
+    """SHA-256 of the canonical JSON rendering of ``key_parts``."""
+    payload = json.dumps(_canonical(key_parts), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of named float arrays.
+
+    ``root=None`` builds an *inert* cache: ``get`` always misses and
+    ``put`` is a no-op, so callers can thread one object through
+    unconditionally.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else None
+
+    @classmethod
+    def from_env(cls) -> "ResultCache":
+        """Cache rooted at ``$REPRO_CACHE_DIR``; inert when unset."""
+        configured = os.environ.get(CACHE_DIR_ENV, "").strip()
+        return cls(configured or None)
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def _paths(self, key_parts: Mapping[str, object]):
+        digest = stable_hash(key_parts)
+        return (self.root / f"{digest}.npz", self.root / f"{digest}.json")
+
+    def get(self, key_parts: Mapping[str, object]
+            ) -> Optional[Dict[str, np.ndarray]]:
+        """The stored arrays for this key, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        data_path, _ = self._paths(key_parts)
+        if not data_path.exists():
+            return None
+        try:
+            with np.load(data_path) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (OSError, ValueError):
+            return None  # truncated/corrupt entry: treat as a miss
+
+    def put(self, key_parts: Mapping[str, object],
+            arrays: Mapping[str, np.ndarray]) -> None:
+        """Store ``arrays`` under the key (atomic via rename).
+
+        Filesystem failures (unwritable root, disk full, ...) are
+        swallowed: the cache is an optimisation, and a failed write
+        must never destroy the freshly computed result.
+        """
+        if not self.enabled:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            data_path, meta_path = self._paths(key_parts)
+            tmp_path = data_path.with_suffix(f".tmp{os.getpid()}")
+            try:
+                with open(tmp_path, "wb") as handle:
+                    np.savez_compressed(handle, **dict(arrays))
+                os.replace(tmp_path, data_path)
+            finally:
+                if tmp_path.exists():
+                    tmp_path.unlink()
+            meta_path.write_text(
+                json.dumps(_canonical(key_parts), sort_keys=True, indent=1))
+        except OSError:
+            return
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        if not self.enabled or not self.root.exists():
+            return 0
+        removed = 0
+        for path in self.root.iterdir():
+            if path.suffix in (".npz", ".json"):
+                path.unlink()
+                removed += 1
+        return removed

@@ -32,6 +32,39 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Coerce any :data:`SeedLike` into a ``SeedSequence``.
+
+    A ``Generator`` contributes its own seed sequence when it exposes
+    one, and otherwise seeds a fresh sequence from a draw (consuming
+    one value from the generator's stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        seed_seq = getattr(seed.bit_generator, "seed_seq", None)
+        if isinstance(seed_seq, np.random.SeedSequence):
+            return seed_seq
+        # Fall back to seeding a fresh sequence from the generator.
+        return np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def spawn_seed_sequences(seed: SeedLike,
+                         count: int) -> List[np.random.SeedSequence]:
+    """Derive ``count`` independent child ``SeedSequence`` objects.
+
+    Unlike :func:`spawn_rngs` the children are returned before being
+    turned into generators, which keeps them both picklable (so they
+    can cross a multiprocessing boundary) and hashable-by-content (so
+    result caches can key on them) — the two properties the chunked
+    Monte-Carlo engines rely on.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return as_seed_sequence(seed).spawn(count)
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``.
 
@@ -39,20 +72,8 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     which matters when Monte-Carlo batches are compared against each other
     (a shared stream would correlate "independent" topologies).
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.Generator):
-        seed_seq = getattr(seed.bit_generator, "seed_seq", None)
-        if isinstance(seed_seq, np.random.SeedSequence):
-            sequence = seed_seq
-        else:
-            # Fall back to seeding a fresh sequence from the generator.
-            sequence = np.random.SeedSequence(int(seed.integers(0, 2**63)))
-    elif isinstance(seed, np.random.SeedSequence):
-        sequence = seed
-    else:
-        sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+    return [np.random.default_rng(child)
+            for child in spawn_seed_sequences(seed, count)]
 
 
 def rng_fingerprint(rng: np.random.Generator, draws: int = 4) -> tuple:

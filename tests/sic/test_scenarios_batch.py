@@ -1,0 +1,94 @@
+"""Property tests: the batched scenario classifier vs the scalar one.
+
+``evaluate_pair_scenarios_batch`` must agree with
+``evaluate_pair_scenario`` on every element — case letter, feasibility,
+both completion times, and the clipped gain — for arbitrary positive
+RSS quadruples spanning the whole SNR range the sweeps produce.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.shannon import Channel
+from repro.sic.scenarios import (
+    CASE_ORDER,
+    PairRss,
+    classify_pair_case,
+    classify_pair_cases_batch,
+    evaluate_pair_scenario,
+    evaluate_pair_scenarios_batch,
+)
+
+rss = st.floats(min_value=1e-16, max_value=1e-4)
+L = 12_000.0
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return Channel()
+
+
+class TestClassifierAgreement:
+    @settings(max_examples=200, deadline=None)
+    @given(rss, rss, rss, rss)
+    def test_case_codes_match_scalar(self, s11, s12, s21, s22):
+        code = classify_pair_cases_batch(np.asarray([s11]), np.asarray([s12]),
+                                         np.asarray([s21]), np.asarray([s22]))
+        assert CASE_ORDER[int(code[0])] is classify_pair_case(
+            PairRss(s11, s12, s21, s22))
+
+    def test_code_order_is_fig5_letter_order(self):
+        assert [case.value for case in CASE_ORDER] == ["a", "b", "c", "d"]
+
+
+class TestEvaluationAgreement:
+    @settings(max_examples=200, deadline=None)
+    @given(rss, rss, rss, rss)
+    def test_elementwise_match(self, channel, s11, s12, s21, s22):
+        scalar = evaluate_pair_scenario(channel, L,
+                                        PairRss(s11, s12, s21, s22))
+        batch = evaluate_pair_scenarios_batch(
+            channel, L, np.asarray([s11]), np.asarray([s12]),
+            np.asarray([s21]), np.asarray([s22]))
+        element = batch.scenario(0)
+        assert element.case is scalar.case
+        assert element.sic_feasible == scalar.sic_feasible
+        assert element.z_serial_s == pytest.approx(scalar.z_serial_s,
+                                                   rel=1e-12)
+        assert element.z_sic_s == pytest.approx(scalar.z_sic_s, rel=1e-12)
+        assert batch.gains[0] == pytest.approx(scalar.gain, rel=1e-12)
+
+    def test_whole_array_agreement(self, channel):
+        generator = np.random.default_rng(99)
+        # Log-uniform RSS over 12 decades: hits every case and both
+        # feasibility outcomes.
+        s = 10.0 ** generator.uniform(-16, -4, size=(4, 4000))
+        batch = evaluate_pair_scenarios_batch(channel, L, *s)
+        for k in range(0, 4000, 97):
+            scalar = evaluate_pair_scenario(
+                channel, L, PairRss(*(float(s[i, k]) for i in range(4))))
+            assert batch.scenario(k).case is scalar.case
+            assert bool(batch.sic_feasible[k]) == scalar.sic_feasible
+            assert batch.gains[k] == pytest.approx(scalar.gain, rel=1e-12)
+
+    def test_case_fractions_sum_to_one(self, channel):
+        generator = np.random.default_rng(7)
+        s = 10.0 ** generator.uniform(-14, -5, size=(4, 1000))
+        fractions = evaluate_pair_scenarios_batch(channel, L,
+                                                  *s).case_fractions()
+        assert sum(fractions[c] for c in "abcd") == pytest.approx(1.0)
+        assert 0.0 <= fractions["feasible"] <= 1.0
+
+    def test_rejects_nonpositive_rss(self, channel):
+        good = np.asarray([1e-9])
+        with pytest.raises(ValueError):
+            evaluate_pair_scenarios_batch(channel, L, np.asarray([0.0]),
+                                          good, good, good)
+
+    def test_gains_clipped_at_one(self, channel):
+        generator = np.random.default_rng(11)
+        s = 10.0 ** generator.uniform(-14, -5, size=(4, 1000))
+        assert np.all(evaluate_pair_scenarios_batch(channel, L,
+                                                    *s).gains >= 1.0)

@@ -138,3 +138,87 @@ class TestMeshChain:
     def test_rejects_short_hop(self):
         with pytest.raises(ValueError):
             mesh_chain([0.1])
+
+
+class TestBatchedGenerators:
+    """Batched samplers must reproduce the scalar draw sequence."""
+
+    def test_pair_batch_matches_scalar_draws(self):
+        import numpy as np
+        from repro.topology.generators import random_pair_topologies
+
+        batch = random_pair_topologies(50, 20.0,
+                                       np.random.default_rng(123))
+        scalar_rng = np.random.default_rng(123)
+        for k in range(50):
+            topo = random_pair_topology(20.0, scalar_rng)
+            assert batch.r1_x[k] == pytest.approx(topo.r1.position.x,
+                                                  rel=1e-12)
+            assert batch.r1_y[k] == pytest.approx(topo.r1.position.y,
+                                                  rel=1e-12)
+            assert batch.r2_x[k] == pytest.approx(topo.r2.position.x,
+                                                  rel=1e-12)
+            assert batch.r2_y[k] == pytest.approx(topo.r2.position.y,
+                                                  rel=1e-12)
+
+    def test_pair_batch_distances_and_materialisation(self):
+        import numpy as np
+        from repro.topology.generators import random_pair_topologies
+
+        batch = random_pair_topologies(40, 15.0,
+                                       np.random.default_rng(5))
+        d11, d12, d21, d22 = batch.link_distances()
+        assert len(batch) == 40
+        for k in (0, 17, 39):
+            topo = batch.topology(k)
+            assert d11[k] == pytest.approx(topo.t1.distance_to(topo.r1))
+            assert d12[k] == pytest.approx(topo.t2.distance_to(topo.r1))
+            assert d21[k] == pytest.approx(topo.t1.distance_to(topo.r2))
+            assert d22[k] == pytest.approx(topo.t2.distance_to(topo.r2))
+        assert np.all(d11 >= MIN_LINK_DISTANCE_M - 1e-9)
+        assert np.all(d11 <= 15.0 + 1e-9)
+        assert np.all(d22 >= MIN_LINK_DISTANCE_M - 1e-9)
+        assert np.all(d22 <= 15.0 + 1e-9)
+
+    def test_uplink_batch_matches_scalar_draws(self):
+        import numpy as np
+        from repro.topology.generators import random_uplink_client_batch
+
+        batch = random_uplink_client_batch(30, 3, 25.0,
+                                           np.random.default_rng(77))
+        scalar_rng = np.random.default_rng(77)
+        for k in range(30):
+            topo = random_uplink_clients(3, 25.0, scalar_rng)
+            for i, client in enumerate(topo.clients):
+                assert batch.x[k, i] == pytest.approx(client.position.x,
+                                                      rel=1e-12)
+                assert batch.y[k, i] == pytest.approx(client.position.y,
+                                                      rel=1e-12)
+
+    def test_uplink_batch_distances_within_cell(self):
+        import numpy as np
+        from repro.topology.generators import random_uplink_client_batch
+
+        batch = random_uplink_client_batch(100, 2, 20.0,
+                                           np.random.default_rng(1))
+        distances = batch.ap_distances()
+        assert distances.shape == (100, 2)
+        assert np.all(distances >= MIN_LINK_DISTANCE_M - 1e-9)
+        assert np.all(distances <= 20.0 + 1e-9)
+
+    def test_batch_validation(self):
+        import numpy as np
+        from repro.topology.generators import (
+            random_pair_topologies,
+            random_uplink_client_batch,
+        )
+
+        with pytest.raises(ValueError):
+            random_pair_topologies(0, 20.0, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            random_uplink_client_batch(10, 0, 20.0,
+                                       np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            random_uplink_client_batch(10, 2, 20.0,
+                                       np.random.default_rng(1),
+                                       min_distance_m=25.0)

@@ -1,0 +1,90 @@
+"""ResultCache behaviour: keys, roundtrips, inert mode, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.util.cache import CACHE_DIR_ENV, ResultCache, stable_hash
+
+
+KEY = {"engine": "test", "seed": 7, "config": {"n": 100}}
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(KEY) == stable_hash(dict(KEY))
+
+    def test_key_order_does_not_matter(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_value_changes_change_hash(self):
+        assert stable_hash({"seed": 1}) != stable_hash({"seed": 2})
+
+    def test_numpy_scalars_canonicalised(self):
+        assert stable_hash({"n": np.int64(5)}) == stable_hash({"n": 5})
+
+    def test_seed_sequence_hashable_by_content(self):
+        a = np.random.SeedSequence(2010).spawn(2)[1]
+        b = np.random.SeedSequence(2010).spawn(2)[1]
+        assert stable_hash({"seed": a}) == stable_hash({"seed": b})
+        other = np.random.SeedSequence(2010).spawn(2)[0]
+        assert stable_hash({"seed": a}) != stable_hash({"seed": other})
+
+    def test_unserialisable_parts_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash({"rng": np.random.default_rng()})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        arrays = {"gains": np.linspace(1.0, 2.0, 17),
+                  "flags": np.array([True, False, True])}
+        assert cache.get(KEY) is None
+        cache.put(KEY, arrays)
+        loaded = cache.get(KEY)
+        assert set(loaded) == {"gains", "flags"}
+        assert np.array_equal(loaded["gains"], arrays["gains"])
+        assert np.array_equal(loaded["flags"], arrays["flags"])
+
+    def test_writes_sidecar_metadata(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": np.zeros(3)})
+        (meta,) = tmp_path.glob("*.json")
+        assert '"engine": "test"' in meta.read_text()
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put({"seed": 1}, {"x": np.ones(2)})
+        cache.put({"seed": 2}, {"x": np.zeros(2)})
+        assert np.all(cache.get({"seed": 1})["x"] == 1.0)
+        assert np.all(cache.get({"seed": 2})["x"] == 0.0)
+
+    def test_inert_without_root(self):
+        cache = ResultCache(None)
+        assert not cache.enabled
+        cache.put(KEY, {"x": np.ones(2)})  # must be a silent no-op
+        assert cache.get(KEY) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": np.ones(4)})
+        (entry,) = tmp_path.glob("*.npz")
+        entry.write_bytes(b"not a zipfile")
+        assert cache.get(KEY) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put({"seed": 1}, {"x": np.ones(2)})
+        cache.put({"seed": 2}, {"x": np.ones(2)})
+        assert cache.clear() == 4  # two .npz + two .json
+        assert cache.get({"seed": 1}) is None
+
+    def test_from_env_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert not ResultCache.from_env().enabled
+
+    def test_from_env_enabled_by_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        cache = ResultCache.from_env()
+        assert cache.enabled
+        assert cache.root == tmp_path
