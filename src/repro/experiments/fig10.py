@@ -27,6 +27,7 @@ from repro.techniques.multirate import multirate_pair_airtime
 from repro.techniques.packing import pack_uplink_airtime
 from repro.techniques.pairing import TechniqueSet
 from repro.techniques.power_control import power_controlled_pair_airtime
+from repro.util.units import db_to_linear
 
 DEFAULT_BANDWIDTH_HZ = 20e6
 #: Weakest client's SNR (linear).  10 => ~3.46 b/s/Hz for C4.
@@ -97,7 +98,7 @@ def detuned_client_rss_watts(channel: Channel) -> List[float]:
     precisely the regime those techniques target.
     """
     snr_db = [40.0, 36.0, 35.0, 31.0]
-    return [(10.0 ** (x / 10.0)) * channel.noise_w for x in snr_db]
+    return [float(db_to_linear(x)) * channel.noise_w for x in snr_db]
 
 
 def compute(bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ,

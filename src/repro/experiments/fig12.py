@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,18 +26,19 @@ from repro.scheduling.baselines import (
 from repro.scheduling.scheduler import SicScheduler, UploadClient
 from repro.techniques.pairing import TechniqueSet
 from repro.util.rng import SeedLike, make_rng
+from repro.util.units import db_to_linear
 
 DEFAULT_BANDWIDTH_HZ = 20e6
 
 
-def random_clients(n: int, rng, snr_db_low: float = 3.0,
+def random_clients(n: int, rng: np.random.Generator, snr_db_low: float = 3.0,
                    snr_db_high: float = 45.0,
-                   noise_w: float = None) -> List[UploadClient]:
+                   noise_w: Optional[float] = None) -> List[UploadClient]:
     """Clients with log-uniform SNRs, the scheduler's natural workload."""
     if noise_w is None:
         noise_w = thermal_noise_watts(DEFAULT_BANDWIDTH_HZ)
     snrs_db = rng.uniform(snr_db_low, snr_db_high, size=n)
-    return [UploadClient(f"C{i + 1}", float(10.0 ** (snr / 10.0)) * noise_w)
+    return [UploadClient(f"C{i + 1}", float(db_to_linear(snr)) * noise_w)
             for i, snr in enumerate(snrs_db)]
 
 
@@ -53,7 +54,8 @@ class SchedulerComparison:
 def compare_policies(n_clients: int, n_trials: int = 50,
                      techniques: TechniqueSet = TechniqueSet.ALL,
                      seed: SeedLike = 2010,
-                     include_brute_force: bool = None) -> SchedulerComparison:
+                     include_brute_force: Optional[bool] = None
+                     ) -> SchedulerComparison:
     """Blossom vs greedy vs random vs serial (vs brute force if small)."""
     if include_brute_force is None:
         include_brute_force = n_clients <= 8

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,7 @@ from repro.sic.scenarios import (
     CASE_ORDER,
     PairCase,
     PairRss,
+    PairScenario,
     PairScenarioBatch,
     evaluate_pair_scenario,
     evaluate_pair_scenarios_batch,
@@ -67,6 +68,8 @@ from repro.techniques.power_control import (
 )
 from repro.sic.airtime import z_serial_same_receiver, z_sic_same_receiver
 from repro.topology.generators import (
+    PairTopology,
+    PairTopologyBatch,
     random_pair_topologies,
     random_pair_topology,
     random_uplink_client_batch,
@@ -138,7 +141,8 @@ def chunk_seeds(seed: SeedLike, n_chunks: int) -> List[SeedLike]:
     return list(spawn_seed_sequences(seed, n_chunks))
 
 
-def _seed_cache_token(seed: SeedLike):
+def _seed_cache_token(
+        seed: SeedLike) -> Union[int, np.random.SeedSequence, None]:
     """A stable, hashable rendering of ``seed`` — or None if the seed
     cannot key a cache entry (OS entropy, stateful generators)."""
     if isinstance(seed, (int, np.integer)):
@@ -235,14 +239,15 @@ def _sample_pair_scenarios(config: MonteCarloConfig, seed: SeedLike,
                                          s11, s12, s21, s22)
 
 
-def _pair_rss_batch(topologies, config: MonteCarloConfig
+def _pair_rss_batch(topologies: PairTopologyBatch, config: MonteCarloConfig
                     ) -> Tuple[np.ndarray, np.ndarray,
                                np.ndarray, np.ndarray]:
     """The four S_j^k arrays of a pair-topology batch."""
     model = config.propagation()
     d11, d12, d21, d22 = topologies.link_distances()
-    return tuple(rss_from_distances(model, config.tx_power_w, d)
-                 for d in (d11, d12, d21, d22))
+    s11, s12, s21, s22 = (rss_from_distances(model, config.tx_power_w, d)
+                          for d in (d11, d12, d21, d22))
+    return s11, s12, s21, s22
 
 
 def two_receiver_scenarios(config: MonteCarloConfig,
@@ -301,7 +306,8 @@ def two_receiver_scenarios_scalar(config: MonteCarloConfig,
     return gains, fractions
 
 
-def _pair_rss(topo, model: LogDistancePathLoss, tx_power_w: float) -> PairRss:
+def _pair_rss(topo: PairTopology, model: LogDistancePathLoss,
+              tx_power_w: float) -> PairRss:
     """The four S_j^i values of a two-pair topology."""
     def rss(tx, rx) -> float:
         return float(model.received_power(tx_power_w, tx.distance_to(rx)))
@@ -511,7 +517,7 @@ def two_receiver_technique_gains_scalar(config: MonteCarloConfig,
 
 
 def two_receiver_packing_gain(channel: Channel, packet_bits: float,
-                              rss: PairRss, scenario,
+                              rss: PairRss, scenario: PairScenario,
                               max_fast_packets: int = 8) -> float:
     """Packing gain for a two-pair scenario (ideal continuous rates).
 
@@ -620,7 +626,7 @@ def two_receiver_packing_gain_batch(channel: Channel, packet_bits: float,
 
 
 def _legacy_two_receiver_packing_gain(channel: Channel, packet_bits: float,
-                                      rss: PairRss, scenario,
+                                      rss: PairRss, scenario: PairScenario,
                                       max_fast_packets: int) -> float:
     """Packing gain restricted to strictly SIC-feasible scenarios.
 

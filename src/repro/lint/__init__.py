@@ -1,0 +1,37 @@
+"""``repro.lint`` — AST-based enforcement of the repo's reproducibility conventions.
+
+The back-of-the-envelope analysis rests on invariants the code states in
+prose but cannot enforce by construction:
+
+* all internal math happens in *linear* units; dB/dBm appear only at API
+  boundaries through :mod:`repro.util.units`;
+* every stochastic path is seeded through :mod:`repro.util.rng` — nothing
+  touches the legacy global numpy state or draws OS entropy mid-pipeline;
+* public numeric entry points validate their inputs at the boundary via
+  :mod:`repro.util.validation`;
+* the multiprocessing engines stay deterministic (no wall-clock or OS
+  entropy in result paths).
+
+This package machine-checks those invariants.  Rules are small classes
+registered in :mod:`repro.lint.registry` under stable ``RPRxxx`` codes;
+:func:`repro.lint.runner.lint_paths` parses a file set once, builds a
+project-wide signature/validation index and runs every rule; the
+``repro-lint`` console script (:mod:`repro.lint.cli`) wires it into CI.
+
+Violations can be silenced per line with ``# repro-lint: disable=RPR001``
+(comma-separate several codes, or ``disable=all``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import Rule, all_rules
+from repro.lint.runner import LintResult, lint_paths
+from repro.lint.violations import Violation
+
+__all__ = [
+    "LintResult",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+]

@@ -1,0 +1,121 @@
+"""``repro-lint`` — the CI entry point.
+
+Exit codes: 0 clean, 1 violations found, 2 when files could not be
+parsed/read (unchecked code must fail the build too) or on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.registry import all_rules
+from repro.lint.runner import LintResult, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based enforcement of the repro conventions: linear-unit "
+            "discipline, RNG determinism, boundary validation and "
+            "multiprocessing determinism hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files and/or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. RPR001,RPR103)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule code and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (violations still print)",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def _print_text(result: LintResult, quiet: bool) -> None:
+    for violation in (*result.errors, *result.violations):
+        print(violation.format_text())
+    if not quiet:
+        total = len(result.violations)
+        noun = "violation" if total == 1 else "violations"
+        status = f"{total} {noun} in {result.files_checked} files"
+        if result.errors:
+            status += f" ({len(result.errors)} unparsable)"
+        print(status)
+
+
+def _print_json(result: LintResult) -> None:
+    payload = {
+        "files_checked": result.files_checked,
+        "violations": [v.as_dict() for v in result.violations],
+        "errors": [v.as_dict() for v in result.errors],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"path does not exist: {', '.join(missing)}")
+
+    try:
+        result = lint_paths(
+            [Path(p) for p in args.paths],
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except KeyError as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
+
+    if args.format == "json":
+        _print_json(result)
+    else:
+        _print_text(result, quiet=args.quiet)
+    return result.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Per-file lint context: parsed AST, dotted module name, suppressions."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Tuple
+
+from repro.lint.violations import Violation
+
+#: Inline pragma grammar: ``# repro-lint: disable=RPR001,RPR103`` (or
+#: ``disable=all``).  The pragma applies to the physical line it sits on.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Sentinel meaning "every code is suppressed on this line".
+SUPPRESS_ALL = "all"
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, derived from ``__init__.py`` markers.
+
+    ``src/repro/phy/shannon.py`` -> ``repro.phy.shannon``.  Files outside
+    any package collapse to their stem, which keeps the linter usable on
+    loose scripts and test fixtures.
+    """
+    path = path.resolve()
+    if path.name == "__init__.py":
+        parts = []
+        package_dir = path.parent
+    else:
+        parts = [path.stem]
+        package_dir = path.parent
+    while (package_dir / "__init__.py").exists():
+        parts.insert(0, package_dir.name)
+        parent = package_dir.parent
+        if parent == package_dir:  # filesystem root
+            break
+        package_dir = parent
+    return ".".join(parts)
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line number -> set of codes disabled on that line."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        if codes:
+            out[lineno] = codes
+    return out
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, FrozenSet[str]]
+
+    @classmethod
+    def from_path(cls, path: Path) -> "FileContext":
+        """Parse ``path``; raises :class:`SyntaxError` on unparsable source."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            module=module_name_for(path),
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+
+    @property
+    def module_parts(self) -> Tuple[str, ...]:
+        return tuple(self.module.split("."))
+
+    def in_any_package(self, *segments: str) -> bool:
+        """True when any dotted-path component matches one of ``segments``."""
+        wanted = set(segments)
+        return any(part in wanted for part in self.module_parts)
+
+    def is_module(self, dotted: str) -> bool:
+        """True when this file *is* (or ends with) the dotted module name."""
+        return self.module == dotted or self.module.endswith("." + dotted)
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        codes = self.suppressions.get(violation.line)
+        if codes is None:
+            return False
+        return SUPPRESS_ALL in codes or violation.code in codes
+
+    def make_violation(self, node: ast.AST, code: str, message: str) -> Violation:
+        return Violation(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )

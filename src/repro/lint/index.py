@@ -1,0 +1,160 @@
+"""Project-wide cross-file facts: callee signatures and validation reach.
+
+Two rule families need more than one file's AST:
+
+* RPR003 (unit-suffix mismatch at call sites) resolves each call against
+  the *callee's* parameter names, so the index records every function
+  signature defined in the linted file set;
+* RPR201 (boundary validation) accepts delegation — a public function
+  whose float parameters flow into a helper that validates them is fine —
+  so the index computes the transitive closure of "calls a
+  ``util.validation`` checker" over the project call graph.
+
+Both resolutions are by *bare name* (the last dotted component).  When
+two definitions share a name with different parameter lists the entry is
+marked ambiguous and call-site rules skip it — conservative in the
+direction of fewer false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+#: Bare-name prefix that marks a :mod:`repro.util.validation` checker.
+VALIDATION_PREFIX = "check_"
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """Parameter layout of one function definition."""
+
+    name: str
+    module: str
+    #: Positional parameters in order (posonly + regular), including
+    #: ``self``/``cls`` for methods.
+    positional: Tuple[str, ...]
+    keyword_only: Tuple[str, ...]
+    has_vararg: bool
+
+    @property
+    def all_params(self) -> Tuple[str, ...]:
+        return self.positional + self.keyword_only
+
+    def is_method_like(self) -> bool:
+        return bool(self.positional) and self.positional[0] in ("self", "cls")
+
+
+def callee_bare_name(func: ast.expr) -> Optional[str]:
+    """Bare name a call expression resolves to, if statically evident."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def signature_of(node: ast.AST, module: str) -> Optional[FunctionSignature]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    args = node.args
+    positional = tuple(a.arg for a in args.posonlyargs) + tuple(
+        a.arg for a in args.args
+    )
+    return FunctionSignature(
+        name=node.name,
+        module=module,
+        positional=positional,
+        keyword_only=tuple(a.arg for a in args.kwonlyargs),
+        has_vararg=args.vararg is not None,
+    )
+
+
+def _called_names(node: ast.AST) -> Iterator[str]:
+    """Bare names of every call made anywhere inside ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = callee_bare_name(child.func)
+            if name is not None:
+                yield name
+
+
+class ProjectIndex:
+    """Signature table + transitive-validation set over one file set."""
+
+    def __init__(
+        self,
+        signatures: Dict[str, Optional[FunctionSignature]],
+        validators: FrozenSet[str],
+    ) -> None:
+        self._signatures = signatures
+        self._validators = validators
+
+    @classmethod
+    def build(cls, trees: Iterable[Tuple[str, ast.Module]]) -> "ProjectIndex":
+        """Index ``(module_name, tree)`` pairs — typically every linted file."""
+        signatures: Dict[str, Optional[FunctionSignature]] = {}
+        direct_validators: Set[str] = set()
+        call_edges: Dict[str, Set[str]] = {}
+
+        for module, tree in trees:
+            for node in ast.walk(tree):
+                sig = signature_of(node, module)
+                if sig is None:
+                    continue
+                if sig.name not in signatures:
+                    signatures[sig.name] = sig
+                else:
+                    known = signatures[sig.name]
+                    if known is not None and (
+                        known.positional != sig.positional
+                        or known.keyword_only != sig.keyword_only
+                    ):
+                        # Ambiguous across the project: call-site rules
+                        # must not guess between the variants.
+                        signatures[sig.name] = None
+
+                callees = call_edges.setdefault(sig.name, set())
+                for called in _called_names(node):
+                    callees.add(called)
+                    if called.startswith(VALIDATION_PREFIX):
+                        direct_validators.add(sig.name)
+
+        validators = _transitive_closure(direct_validators, call_edges)
+        return cls(signatures, frozenset(validators))
+
+    def signature(self, bare_name: str) -> Optional[FunctionSignature]:
+        """The unique signature for ``bare_name``; None when unknown/ambiguous."""
+        return self._signatures.get(bare_name)
+
+    def reaches_validation(self, bare_name: str) -> bool:
+        """Does ``bare_name`` (transitively) call a ``check_*`` validator?"""
+        return bare_name in self._validators
+
+
+def _transitive_closure(
+    seeds: Set[str], edges: Dict[str, Set[str]]
+) -> Set[str]:
+    """Functions from which ``seeds`` are reachable along call edges."""
+    validating = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in edges.items():
+            if caller not in validating and callees & validating:
+                validating.add(caller)
+                changed = True
+    return validating
+
+
+def collect_function_defs(
+    tree: ast.Module,
+) -> List[Tuple[ast.FunctionDef, bool]]:
+    """All function defs with a flag for "defined at module top level"."""
+    out: List[Tuple[ast.FunctionDef, bool]] = []
+    top_level = {id(n) for n in tree.body}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            out.append((node, id(node) in top_level))
+    return out

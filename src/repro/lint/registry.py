@@ -1,0 +1,82 @@
+"""Rule base class and the pluggable rule registry.
+
+A rule is a stateless object with a stable ``code`` (``RPRxxx``), a
+one-line ``summary`` and a ``check`` method yielding
+:class:`~repro.lint.violations.Violation` objects for one file.  Rules
+self-register at import time via the :func:`register` decorator; rule
+modules live under :mod:`repro.lint.rules` and are imported (and thereby
+registered) by :func:`load_builtin_rules`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.lint.context import FileContext
+from repro.lint.index import ProjectIndex
+from repro.lint.violations import Violation
+
+
+class Rule:
+    """Base class for lint rules.  Subclasses set ``code`` and ``summary``."""
+
+    #: Stable rule identifier, e.g. ``"RPR001"``.
+    code: str = ""
+    #: One-line human description shown by ``repro-lint --list-rules``.
+    summary: str = ""
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+#: Rule modules imported by :func:`load_builtin_rules`; appending here is
+#: how a new rule family plugs in.
+BUILTIN_RULE_MODULES = (
+    "repro.lint.rules.units",
+    "repro.lint.rules.rng",
+    "repro.lint.rules.validation",
+    "repro.lint.rules.hygiene",
+)
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    if not cls.code or not cls.code.startswith("RPR"):
+        raise ValueError(f"rule {cls.__name__} needs an RPRxxx code")
+    if cls.code in _REGISTRY and type(_REGISTRY[cls.code]) is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def load_builtin_rules() -> None:
+    """Import every built-in rule module (idempotent)."""
+    for module in BUILTIN_RULE_MODULES:
+        importlib.import_module(module)
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    load_builtin_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Registered rules filtered to ``select`` minus ``ignore``."""
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules

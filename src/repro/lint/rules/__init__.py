@@ -1,0 +1,16 @@
+"""Built-in rule families.
+
+Importing this package registers every built-in rule.  Codes are grouped
+by family:
+
+* ``RPR0xx`` — unit discipline (:mod:`repro.lint.rules.units`)
+* ``RPR1xx`` — RNG determinism (:mod:`repro.lint.rules.rng`)
+* ``RPR2xx`` — boundary validation (:mod:`repro.lint.rules.validation`)
+* ``RPR3xx`` — determinism hygiene (:mod:`repro.lint.rules.hygiene`)
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import hygiene, rng, units, validation
+
+__all__ = ["hygiene", "rng", "units", "validation"]

@@ -1,0 +1,95 @@
+"""Determinism-hygiene rules for the parallel engines (RPR3xx).
+
+The chunked Monte-Carlo engines promise bit-identical results for a
+given ``(seed, n_samples, chunk_size)`` regardless of worker count.
+Wall-clock reads and OS entropy inside ``experiments``/``sim`` result
+paths silently break that promise (``time.perf_counter`` remains fine
+for *measuring* elapsed time — it never feeds results).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Set
+
+from repro.lint.context import FileContext
+from repro.lint.index import ProjectIndex
+from repro.lint.registry import Rule, register
+from repro.lint.violations import Violation
+
+#: Packages holding the deterministic result pipelines.
+DETERMINISTIC_PACKAGES: FrozenSet[str] = frozenset({"experiments", "sim"})
+
+
+def _applies(ctx: FileContext) -> bool:
+    return ctx.in_any_package(*DETERMINISTIC_PACKAGES)
+
+
+def _bindings_of(tree: ast.Module, module: str, original: str) -> Set[str]:
+    """Local names bound to ``module.original`` via ``from module import``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                if alias.name == original:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@register
+class WallClockRule(Rule):
+    """RPR301 — ``time.time()`` in a deterministic result pipeline."""
+
+    code = "RPR301"
+    summary = (
+        "time.time() is wall-clock nondeterminism; results must depend "
+        "only on (seed, config) — use time.perf_counter() for benchmarks"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        bare_bindings = _bindings_of(ctx.tree, "time", "time")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield ctx.make_violation(node, self.code, self.summary)
+            elif isinstance(func, ast.Name) and func.id in bare_bindings:
+                yield ctx.make_violation(node, self.code, self.summary)
+
+
+@register
+class OsEntropyRule(Rule):
+    """RPR302 — ``os.urandom`` in a deterministic result pipeline."""
+
+    code = "RPR302"
+    summary = (
+        "os.urandom draws OS entropy; derive per-worker streams with "
+        "repro.util.rng.spawn_seed_sequences instead"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if not _applies(ctx):
+            return
+        bindings = _bindings_of(ctx.tree, "os", "urandom")
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "urandom"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+            ):
+                yield ctx.make_violation(node, self.code, self.summary)
+            elif (
+                isinstance(node, ast.Name)
+                and node.id in bindings
+                and isinstance(node.ctx, ast.Load)
+            ):
+                yield ctx.make_violation(node, self.code, self.summary)

@@ -1,0 +1,273 @@
+"""RNG-determinism rules (RPR1xx).
+
+Reproducibility contract (:mod:`repro.util.rng`): every stochastic entry
+point accepts a ``seed``/``rng`` parameter, nothing touches the legacy
+global numpy state, and worker sub-streams come from ``SeedSequence``
+spawning.  The worker-count-invariant Monte-Carlo engines rely on this —
+one unseeded generator in a code path silently breaks replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.index import ProjectIndex, callee_bare_name
+from repro.lint.registry import Rule, register
+from repro.lint.violations import Violation
+
+#: The single module allowed to talk to ``numpy.random`` directly.
+RNG_MODULE = "repro.util.rng"
+
+#: Legacy global-state ``numpy.random`` API (module-level functions).
+LEGACY_NP_RANDOM: FrozenSet[str] = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "lognormal",
+        "rayleigh",
+        "gamma",
+        "beta",
+        "choice",
+        "shuffle",
+        "permutation",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+#: Functions that construct generators or derive seed streams.
+RNG_FACTORIES: FrozenSet[str] = frozenset(
+    {"make_rng", "default_rng", "spawn_rngs", "spawn_seed_sequences"}
+)
+
+#: ``numpy.random.Generator`` drawing methods.
+DRAW_METHODS: FrozenSet[str] = frozenset(
+    {
+        "random",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "poisson",
+        "binomial",
+        "lognormal",
+        "rayleigh",
+        "gamma",
+        "beta",
+        "multivariate_normal",
+        "bytes",
+    }
+)
+
+#: Parameter names that satisfy "this function accepts its randomness".
+SEED_PARAM_NAMES: FrozenSet[str] = frozenset(
+    {"seed", "rng", "seed_seq", "seed_sequence", "random_state", "generator"}
+)
+SEED_PARAM_SUFFIXES: Tuple[str, ...] = ("_seed", "_rng", "_seed_seq")
+
+
+def _is_np_random_attribute(node: ast.AST) -> Optional[str]:
+    """``np.random.X`` / ``numpy.random.X`` -> ``X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "random"
+        and isinstance(node.value.value, ast.Name)
+        and node.value.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+def _in_rng_module(ctx: FileContext) -> bool:
+    return ctx.is_module(RNG_MODULE)
+
+
+@register
+class LegacyNumpyRandomRule(Rule):
+    """RPR101 — legacy global-state ``np.random.*`` API."""
+
+    code = "RPR101"
+    summary = (
+        "legacy global numpy.random API; thread a Generator from "
+        "repro.util.rng.make_rng instead"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if _in_rng_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            attr = _is_np_random_attribute(node)
+            if attr in LEGACY_NP_RANDOM:
+                yield ctx.make_violation(
+                    node, self.code, f"np.random.{attr}: {self.summary}"
+                )
+
+
+@register
+class StdlibRandomRule(Rule):
+    """RPR102 — the stdlib ``random`` module (unseedable per-call here)."""
+
+    code = "RPR102"
+    summary = (
+        "stdlib 'random' module; use numpy Generators via "
+        "repro.util.rng.make_rng so seeds thread through"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == "random" for alias in node.names):
+                    yield ctx.make_violation(node, self.code, self.summary)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield ctx.make_violation(node, self.code, self.summary)
+
+
+@register
+class UnseededDefaultRngRule(Rule):
+    """RPR103 — ``default_rng()`` with no/None seed outside ``util.rng``."""
+
+    code = "RPR103"
+    summary = (
+        "unseeded default_rng() draws OS entropy and breaks replay; "
+        "accept a SeedLike and call repro.util.rng.make_rng"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if _in_rng_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if callee_bare_name(node.func) != "default_rng":
+                continue
+            unseeded = (not node.args and not node.keywords) or (
+                len(node.args) == 1
+                and not node.keywords
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if unseeded:
+                yield ctx.make_violation(node, self.code, self.summary)
+
+
+def _param_names(node: ast.FunctionDef) -> List[str]:
+    args = node.args
+    return [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+
+
+def _accepts_seed(node: ast.FunctionDef) -> bool:
+    for name in _param_names(node):
+        lowered = name.lower()
+        if lowered in SEED_PARAM_NAMES or lowered.endswith(SEED_PARAM_SUFFIXES):
+            return True
+    return False
+
+
+def _is_rng_name(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and (
+        node.id == "rng" or node.id.endswith("_rng")
+    )
+
+
+def _draw_in_statement(node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+    """First randomness acquisition inside ``node`` (nested defs excluded).
+
+    Returns ``(call_node, description)`` or None.  Draws on ``self.*``
+    attributes are deliberately ignored: an rng stored on the instance
+    was injected through a seeded constructor.
+    """
+    for child in _walk_excluding_functions(node):
+        if not isinstance(child, ast.Call):
+            continue
+        name = callee_bare_name(child.func)
+        if name in RNG_FACTORIES:
+            return child, f"{name}()"
+        if (
+            isinstance(child.func, ast.Attribute)
+            and child.func.attr in DRAW_METHODS
+            and _is_rng_name(child.func.value)
+        ):
+            base = child.func.value
+            assert isinstance(base, ast.Name)
+            return child, f"{base.id}.{child.func.attr}()"
+    return None
+
+
+def _walk_excluding_functions(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function defs."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+@register
+class SeedlessStochasticFunctionRule(Rule):
+    """RPR104 — a function draws randomness but accepts no seed/rng.
+
+    A function whose *own* body acquires randomness (constructs a
+    generator or draws from an ``rng``-named one) must accept a
+    ``seed``/``rng``-style parameter — directly or on an enclosing
+    function (closures inherit the enclosing seed).
+    """
+
+    code = "RPR104"
+    summary = "function draws randomness but accepts no seed/rng parameter"
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if _in_rng_module(ctx):
+            return
+        yield from self._check_scope(ctx, ctx.tree, enclosing_has_seed=False)
+
+    def _check_scope(
+        self, ctx: FileContext, scope: ast.AST, enclosing_has_seed: bool
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                has_seed = enclosing_has_seed or _accepts_seed(child)  # type: ignore[arg-type]
+                if not has_seed:
+                    found = None
+                    for stmt in child.body:
+                        found = _draw_in_statement(stmt)
+                        if found is not None:
+                            break
+                    if found is not None:
+                        draw_node, description = found
+                        yield ctx.make_violation(
+                            draw_node,
+                            self.code,
+                            f"'{child.name}' acquires randomness via "
+                            f"{description} but has no seed/rng parameter; "
+                            "thread a repro.util.rng.SeedLike through",
+                        )
+                yield from self._check_scope(ctx, child, has_seed)
+            else:
+                yield from self._check_scope(ctx, child, enclosing_has_seed)

@@ -1,0 +1,202 @@
+"""Unit-discipline rules (RPR0xx).
+
+All internal math is in linear units (watts, Hz, bits/s); decibels exist
+only at API boundaries, converted through :mod:`repro.util.units`.  A
+hand-rolled ``10 ** (x / 10)`` deep inside an experiment is exactly the
+dB/linear confusion that makes SIC gain estimates quietly wrong instead
+of loudly broken, so conversions outside the units module — and calls
+that feed a ``*_db`` value into a ``*_w`` parameter — are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.index import ProjectIndex, callee_bare_name
+from repro.lint.registry import Rule, register
+from repro.lint.violations import Violation
+
+#: The single module allowed to spell out dB arithmetic.
+UNITS_MODULE = "repro.util.units"
+
+DB_SUFFIXES: Tuple[str, ...] = ("_db", "_dbm")
+LINEAR_SUFFIXES: Tuple[str, ...] = ("_w", "_watts", "_linear")
+
+
+def _constant_value(node: ast.expr) -> Optional[float]:
+    """Numeric value of a literal, looking through unary ``+``/``-``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        inner = _constant_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    return None
+
+
+def _is_ten(node: ast.expr) -> bool:
+    return _constant_value(node) == 10.0
+
+
+def _is_abs_ten(node: ast.expr) -> bool:
+    value = _constant_value(node)
+    return value is not None and abs(value) == 10.0
+
+
+def _is_division_by_ten(node: ast.expr) -> bool:
+    """Matches ``<anything> / 10`` — covers ``x/10`` and ``(x - 30)/10``."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Div)
+        and _is_ten(node.right)
+    )
+
+
+def _is_log10_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = callee_bare_name(node.func)
+    return name == "log10"
+
+
+def _in_units_module(ctx: FileContext) -> bool:
+    return ctx.is_module(UNITS_MODULE)
+
+
+@register
+class InlineDbToLinearRule(Rule):
+    """RPR001 — hand-rolled dB→linear conversion outside ``util.units``."""
+
+    code = "RPR001"
+    summary = (
+        "inline dB->linear conversion (10 ** (x / 10)); use "
+        "repro.util.units.db_to_linear / dbm_to_watts"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if _in_units_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if self._is_inline_conversion(node):
+                yield ctx.make_violation(node, self.code, self.summary)
+
+    @staticmethod
+    def _is_inline_conversion(node: ast.AST) -> bool:
+        # 10 ** (x / 10) and 10.0 ** ((x - 30.0) / 10.0)
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Pow)
+            and _is_ten(node.left)
+            and _is_division_by_ten(node.right)
+        ):
+            return True
+        # np.power(10.0, x / 10.0), math.pow(10, x / 10)
+        if isinstance(node, ast.Call) and len(node.args) == 2:
+            name = callee_bare_name(node.func)
+            if name in ("power", "pow") and _is_ten(node.args[0]):
+                return _is_division_by_ten(node.args[1])
+        return False
+
+
+@register
+class InlineLinearToDbRule(Rule):
+    """RPR002 — hand-rolled linear→dB conversion outside ``util.units``."""
+
+    code = "RPR002"
+    summary = (
+        "inline linear->dB conversion (10 * log10(x)); use "
+        "repro.util.units.linear_to_db / watts_to_dbm / ratio_db"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if _in_units_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Mult)
+                and (
+                    (_is_abs_ten(node.left) and _is_log10_call(node.right))
+                    or (_is_abs_ten(node.right) and _is_log10_call(node.left))
+                )
+            ):
+                yield ctx.make_violation(node, self.code, self.summary)
+
+
+def _unit_kind(name: str) -> Optional[str]:
+    """Classify an identifier as carrying dB or linear units, if evident."""
+    lowered = name.lower()
+    if lowered in ("db", "dbm") or lowered.endswith(DB_SUFFIXES):
+        return "db"
+    if lowered in ("w", "watts") or lowered.endswith(LINEAR_SUFFIXES):
+        return "linear"
+    return None
+
+
+def _argument_name(node: ast.expr) -> Optional[str]:
+    """Identifier an argument expression carries, if any (``x`` / ``obj.x``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class UnitSuffixMismatchRule(Rule):
+    """RPR003 — a ``*_db`` value passed to a ``*_w`` parameter (or vice versa).
+
+    Call sites are resolved against the callee's signature when the
+    callee is defined (unambiguously) inside the linted file set.
+    """
+
+    code = "RPR003"
+    summary = "argument/parameter unit suffixes disagree (dB vs linear)"
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = callee_bare_name(node.func)
+            if callee is None:
+                continue
+            sig = index.signature(callee)
+            if sig is None or sig.module.endswith(UNITS_MODULE):
+                continue
+
+            offset = (
+                1
+                if isinstance(node.func, ast.Attribute) and sig.is_method_like()
+                else 0
+            )
+            pairings = []
+            for position, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred):
+                    break  # positions are unknowable past a *splat
+                param_index = position + offset
+                if param_index >= len(sig.positional):
+                    break
+                pairings.append((sig.positional[param_index], arg))
+            for keyword in node.keywords:
+                if keyword.arg is not None and keyword.arg in sig.all_params:
+                    pairings.append((keyword.arg, keyword.value))
+
+            for param, arg in pairings:
+                param_kind = _unit_kind(param)
+                if param_kind is None:
+                    continue
+                arg_name = _argument_name(arg)
+                if arg_name is None:
+                    continue
+                arg_kind = _unit_kind(arg_name)
+                if arg_kind is not None and arg_kind != param_kind:
+                    yield ctx.make_violation(
+                        arg,
+                        self.code,
+                        f"'{arg_name}' ({arg_kind}) passed to parameter "
+                        f"'{param}' ({param_kind}) of {callee}(); convert "
+                        "via repro.util.units first",
+                    )

@@ -1,0 +1,69 @@
+"""Boundary-validation rule (RPR2xx).
+
+Public numeric entry points of the physical-layer packages must validate
+their inputs through :mod:`repro.util.validation` so bad values surface
+at the boundary (with the parameter named) rather than as NaNs deep in a
+Monte-Carlo sweep.  Delegation counts: a function whose float parameters
+flow into a helper that validates (transitively) is compliant — the
+project call-graph closure in :class:`repro.lint.index.ProjectIndex`
+resolves that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List
+
+from repro.lint.context import FileContext
+from repro.lint.index import ProjectIndex, collect_function_defs
+from repro.lint.registry import Rule, register
+from repro.lint.violations import Violation
+
+#: Packages whose public functions form the validated boundary.
+BOUNDARY_PACKAGES: FrozenSet[str] = frozenset({"phy", "sic", "topology"})
+
+
+def _float_params(node: ast.FunctionDef) -> List[str]:
+    """Parameters annotated exactly ``float`` (the boundary contract)."""
+    out: List[str] = []
+    args = node.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        annotation = arg.annotation
+        if isinstance(annotation, ast.Name) and annotation.id == "float":
+            out.append(arg.arg)
+        elif (
+            isinstance(annotation, ast.Constant)
+            and annotation.value == "float"
+        ):
+            out.append(arg.arg)
+    return out
+
+
+@register
+class UnvalidatedBoundaryRule(Rule):
+    """RPR201 — public float-taking function never reaches a checker."""
+
+    code = "RPR201"
+    summary = (
+        "public function with float parameter(s) never calls a "
+        "repro.util.validation checker (directly or via its callees)"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if not ctx.in_any_package(*BOUNDARY_PACKAGES):
+            return
+        for node, is_top_level in collect_function_defs(ctx.tree):
+            if not is_top_level or node.name.startswith("_"):
+                continue
+            params = _float_params(node)
+            if not params:
+                continue
+            if index.reaches_validation(node.name):
+                continue
+            yield ctx.make_violation(
+                node,
+                self.code,
+                f"'{node.name}' takes float parameter(s) "
+                f"{', '.join(repr(p) for p in params)} but never reaches a "
+                "repro.util.validation checker",
+            )

@@ -1,0 +1,106 @@
+"""Parse a file set once, build the project index, run every rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.context import FileContext
+from repro.lint.index import ProjectIndex
+from repro.lint.registry import select_rules
+from repro.lint.violations import PARSE_ERROR_CODE, Violation
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: Files that failed to parse (code ``RPR000``); these make the CLI
+    #: exit with status 2 since unparsed code is unchecked code.
+    errors: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.errors
+
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen = set()
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` (files and/or directories) with the selected rules.
+
+    The project index — callee signatures and the validation closure —
+    is built over exactly this file set, so cross-file rules see the
+    same "package" the caller asked to lint.
+    """
+    files = iter_python_files(Path(p) for p in paths)
+    contexts: List[FileContext] = []
+    errors: List[Violation] = []
+    for path in files:
+        try:
+            contexts.append(FileContext.from_path(path))
+        except (SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            offset = getattr(exc, "offset", None) or 0
+            errors.append(
+                Violation(
+                    path=str(path),
+                    line=int(line),
+                    col=int(offset),
+                    code=PARSE_ERROR_CODE,
+                    message=f"could not parse file: {exc}",
+                )
+            )
+        except OSError as exc:
+            errors.append(
+                Violation(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    code=PARSE_ERROR_CODE,
+                    message=f"could not read file: {exc}",
+                )
+            )
+
+    index = ProjectIndex.build((ctx.module, ctx.tree) for ctx in contexts)
+    rules = select_rules(select=select, ignore=ignore)
+
+    violations: List[Violation] = []
+    for ctx in contexts:
+        for rule in rules:
+            for violation in rule.check(ctx, index):
+                if not ctx.is_suppressed(violation):
+                    violations.append(violation)
+
+    return LintResult(
+        violations=sorted(violations),
+        errors=sorted(errors),
+        files_checked=len(contexts),
+    )

@@ -1,0 +1,38 @@
+"""The one datum every rule produces: a located, coded violation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+#: Pseudo-code attached to files the linter could not parse.  It cannot
+#: be suppressed inline (there is no AST to attach a pragma to) and makes
+#: the CLI exit with status 2 rather than 1.
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: ``path:line:col: CODE message``.
+
+    Ordering is lexicographic on (path, line, col, code) so reports are
+    stable across runs and rule-execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

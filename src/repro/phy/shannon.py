@@ -24,6 +24,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.util.units import db_to_linear
 from repro.util.validation import check_positive
 
 ArrayLike = Union[float, np.ndarray]
@@ -116,6 +117,6 @@ def airtime(packet_bits: float, rate_bps: ArrayLike) -> ArrayLike:
 def rate_from_snr_db(bandwidth_hz: float, snr_db: ArrayLike) -> ArrayLike:
     """Convenience: Shannon rate from an SNR given in dB."""
     check_positive("bandwidth_hz", bandwidth_hz)
-    snr_linear = np.power(10.0, np.asarray(snr_db, dtype=float) / 10.0)
+    snr_linear = np.asarray(db_to_linear(snr_db), dtype=float)
     result = bandwidth_hz * np.log2(1.0 + snr_linear)
     return float(result) if np.ndim(result) == 0 else result

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.scheduling.scheduler import SicScheduler, UploadClient
-from repro.util.rng import SeedLike, make_rng
+from repro.util.rng import SeedLike, as_seed_sequence, make_rng
 from repro.util.validation import check_positive
 
 
@@ -84,7 +84,7 @@ class OnlineMetrics:
 
 
 def _arrival_times(clients: Sequence[ArrivalClient], horizon_s: float,
-                   rng) -> List[Tuple[float, str]]:
+                   rng: np.random.Generator) -> List[Tuple[float, str]]:
     """Merged, time-sorted (arrival_time, client) events."""
     events: List[Tuple[float, str]] = []
     for client in clients:
@@ -179,13 +179,16 @@ def compare_policies_online(scheduler: SicScheduler,
                             horizon_s: float,
                             seed: SeedLike = None
                             ) -> Dict[str, OnlineMetrics]:
-    """Run both policies on the *same* arrival sample paths."""
-    rng = make_rng(seed)
-    state = rng.bit_generator.state
+    """Run both policies on the *same* arrival sample paths.
+
+    ``seed`` is resolved once into a ``SeedSequence``; each policy then
+    gets a fresh generator from that same sequence, so both replay an
+    identical arrival stream and a repeated call with the same seed
+    reproduces the whole comparison.
+    """
+    seed_seq = as_seed_sequence(seed)
     out: Dict[str, OnlineMetrics] = {}
     for policy in ("fifo", "sic_pairing"):
-        replay = np.random.default_rng()
-        replay.bit_generator.state = state
         out[policy] = simulate_online(scheduler, clients, horizon_s,
-                                      policy=policy, seed=replay)
+                                      policy=policy, seed=make_rng(seed_seq))
     return out

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.phy.shannon import Channel, airtime, shannon_rate
+from repro.util.units import ratio_db
 from repro.util.validation import check_positive
 
 
@@ -55,7 +56,7 @@ class PowerControlledPair:
         """How many dB the weaker client backed off (0 when unchanged)."""
         if not self.power_reduced:
             return 0.0
-        return -10.0 * math.log10(self.weak_rss_w / self.original_weak_rss_w)
+        return float(ratio_db(self.original_weak_rss_w, self.weak_rss_w))
 
 
 def power_controlled_pair_airtime(channel: Channel, packet_bits: float,

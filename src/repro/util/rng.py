@@ -13,7 +13,7 @@ Reproducibility rules used throughout the library:
 from __future__ import annotations
 
 import copy
-from typing import List, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -76,7 +76,8 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
             for child in spawn_seed_sequences(seed, count)]
 
 
-def rng_fingerprint(rng: np.random.Generator, draws: int = 4) -> tuple:
+def rng_fingerprint(rng: np.random.Generator,
+                    draws: int = 4) -> Tuple[float, ...]:
     """Return a small tuple of draws from a *copy* of ``rng``.
 
     Used by tests to assert that two generators are (or are not) in the

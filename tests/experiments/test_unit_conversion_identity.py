@@ -1,0 +1,86 @@
+"""The fig10/fig12 switch to ``repro.util.units`` changed no numbers.
+
+These modules used to hand-roll ``10 ** (x / 10)``; the conversion now
+routes through :func:`repro.util.units.db_to_linear`.  The tests pin the
+outputs draw-for-draw against the inline formula so the refactor is
+provably a no-op.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10, fig12
+from repro.phy.noise import thermal_noise_watts
+from repro.phy.shannon import Channel
+from repro.util.rng import make_rng
+
+
+def _channel():
+    return Channel(bandwidth_hz=20e6, noise_w=thermal_noise_watts(20e6))
+
+
+class TestFig10Identity:
+    def test_detuned_rss_matches_inline_formula(self):
+        channel = _channel()
+        got = fig10.detuned_client_rss_watts(channel)
+        want = [(10.0 ** (x / 10.0)) * channel.noise_w
+                for x in (40.0, 36.0, 35.0, 31.0)]
+        assert got == want  # bit-for-bit, not approximately
+
+    def test_detuned_compute_orderings_hold(self):
+        # The figure's load-bearing ordering survives the refactor:
+        # power control strictly improves on every plain pairing.
+        result = fig10.compute(detuned=True)
+        assert result.power_control_units < min(result.pairing_units.values())
+
+
+class TestFig12Identity:
+    def test_random_clients_match_inline_formula(self):
+        noise_w = _channel().noise_w
+        draws = make_rng(2010).uniform(3.0, 45.0, size=16)
+        want = [float(10.0 ** (snr / 10.0)) * noise_w for snr in draws]
+
+        clients = fig12.random_clients(16, make_rng(2010), noise_w=noise_w)
+        # Same RNG draws; values equal up to the 1-ulp difference between
+        # the scalar ** operator and numpy's np.power libm path.
+        np.testing.assert_allclose([c.rss_w for c in clients], want,
+                                   rtol=1e-14, atol=0.0)
+
+    def test_same_rng_stream_consumed(self):
+        # The conversion change must not alter how many draws are taken.
+        rng = make_rng(7)
+        fig12.random_clients(5, rng)
+        fingerprint_after = rng.uniform()
+        rng2 = make_rng(7)
+        rng2.uniform(3.0, 45.0, size=5)
+        assert fingerprint_after == rng2.uniform()
+
+
+class TestShannonIdentity:
+    def test_rate_from_snr_db_matches_inline_formula(self):
+        from repro.phy.shannon import rate_from_snr_db
+
+        snr_db = np.linspace(-10.0, 40.0, 23)
+        want = 20e6 * np.log2(1.0 + np.power(10.0, snr_db / 10.0))
+        got = np.asarray(rate_from_snr_db(20e6, snr_db), dtype=float)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestPowerControlIdentity:
+    def test_backoff_db_matches_inline_formula(self):
+        import math
+
+        from repro.techniques.power_control import (
+            power_controlled_pair_airtime,
+        )
+
+        channel = _channel()
+        n0 = channel.noise_w
+        # Similar RSS -> the pair is tighter than the equal-rate optimum
+        # and power control engages.
+        pair = power_controlled_pair_airtime(channel, 12_000.0,
+                                             1e4 * n0, 8e3 * n0)
+        assert pair.power_reduced
+        want = -10.0 * math.log10(pair.weak_rss_w / pair.original_weak_rss_w)
+        # ratio_db computes 10*log10(orig/weak); equal to the inline
+        # -10*log10(weak/orig) up to one ulp of the reciprocal rounding.
+        assert abs(pair.weak_power_backoff_db - want) < 1e-12 * abs(want)

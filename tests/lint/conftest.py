@@ -1,0 +1,43 @@
+"""Shared helpers for the lint test suite.
+
+Fixture modules under ``fixtures/`` carry ``# expect: CODE [CODE ...]``
+markers on the exact lines where violations must fire; tests compare the
+linter's ``(code, line)`` set against the parsed markers, so the
+assertions pin codes *and* locations without hand-maintained numbers.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9 ]+?)\s*$")
+
+
+def expected_markers(path):
+    """Set of (code, line) pairs declared by ``# expect:`` markers."""
+    out = set()
+    for lineno, text in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _EXPECT_RE.search(text)
+        if match:
+            for code in match.group(1).split():
+                out.add((code, lineno))
+    return out
+
+
+def lint_found(path, **kwargs):
+    """Lint one fixture; return its (code, line) set, asserting no errors."""
+    result = lint_paths([path], **kwargs)
+    assert not result.errors, [e.format_text() for e in result.errors]
+    return {(v.code, v.line) for v in result.violations}
+
+
+@pytest.fixture
+def fixtures_dir():
+    return FIXTURES

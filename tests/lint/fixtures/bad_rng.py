@@ -1,0 +1,26 @@
+"""Deliberate RNG-determinism violations (RPR1xx fixture)."""
+
+import random  # expect: RPR102
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def draw_legacy(n):
+    np.random.seed(7)  # expect: RPR101
+    return np.random.uniform(size=n)  # expect: RPR101
+
+
+def draw_unseeded():
+    rng = np.random.default_rng()  # expect: RPR103 RPR104
+    return rng.random()
+
+
+def draw_without_seed_param(n):
+    rng = make_rng(123)  # expect: RPR104
+    return rng.normal(size=n)
+
+
+def shuffle_stdlib(items):
+    return random.shuffle(items)

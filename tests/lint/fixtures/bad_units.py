@@ -1,0 +1,39 @@
+"""Deliberate unit-discipline violations (RPR0xx fixture).
+
+Never imported — the linter only parses this file.  ``# expect: CODE``
+markers name the violation the test suite asserts on that exact line.
+"""
+
+import math
+
+import numpy as np
+
+
+def to_linear(snr_db):
+    return 10.0 ** (snr_db / 10.0)  # expect: RPR001
+
+
+def dbm_to_watts_inline(power_dbm):
+    return np.power(10.0, (power_dbm - 30.0) / 10.0)  # expect: RPR001
+
+
+def to_db(ratio):
+    return 10.0 * math.log10(ratio)  # expect: RPR002
+
+
+def negated_db(ratio):
+    return -10.0 * np.log10(ratio)  # expect: RPR002
+
+
+def takes_watts(power_w):
+    return power_w * 2.0
+
+
+def takes_db(level_db):
+    return level_db + 3.0
+
+
+def confused_caller(snr_db, power_w):
+    a = takes_watts(snr_db)  # expect: RPR003
+    b = takes_db(level_db=power_w)  # expect: RPR003
+    return a, b

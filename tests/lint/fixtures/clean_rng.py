@@ -1,0 +1,34 @@
+"""Seed-disciplined stochastic code the linter must accept (RPR1xx clean)."""
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+def draw(n, seed=None):
+    rng = make_rng(seed)
+    return rng.normal(size=n)
+
+
+def draw_through_generator(n, rng):
+    return rng.uniform(size=n)
+
+
+def closure_inherits_seed(seed):
+    rng = make_rng(seed)
+
+    def inner():
+        return rng.random()
+
+    return inner()
+
+
+def fan_out(count, trace_seed):
+    return spawn_rngs(trace_seed, count)
+
+
+class Sampler:
+    def __init__(self, seed=None):
+        self._rng = make_rng(seed)
+
+    def sample(self, n):
+        # Instance rngs were injected through a seeded constructor.
+        return self._rng.random(n)

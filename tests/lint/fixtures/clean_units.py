@@ -1,0 +1,20 @@
+"""Unit-disciplined code the linter must accept (RPR0xx clean fixture)."""
+
+from repro.util.units import db_to_linear, linear_to_db
+
+
+def takes_watts(power_w):
+    return power_w * 2.0
+
+
+def forward_same_units(signal_w, snr_db):
+    # Same-unit forwarding is fine; base-2 exponentials are not dB math.
+    return takes_watts(signal_w) + 2.0 ** (snr_db / 2.0)
+
+
+def convert_at_boundary(snr_db):
+    return db_to_linear(snr_db)
+
+
+def report_in_db(gain_linear):
+    return linear_to_db(gain_linear)

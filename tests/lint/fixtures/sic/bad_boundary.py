@@ -1,0 +1,29 @@
+"""Boundary-validation fixture (RPR201).
+
+The ``sic`` package directory makes this file count as boundary code.
+"""
+
+from repro.util.validation import check_positive
+
+
+def unchecked_rate(bandwidth_hz: float, snr: float):  # expect: RPR201
+    return bandwidth_hz * snr
+
+
+def checked_rate(bandwidth_hz: float, snr: float):
+    check_positive("bandwidth_hz", bandwidth_hz)
+    check_positive("snr", snr)
+    return bandwidth_hz * snr
+
+
+def delegating_rate(bandwidth_hz: float):
+    # Validation by delegation: checked_rate reaches the checker.
+    return checked_rate(bandwidth_hz, 1.0)
+
+
+def _private_helper(scale: float):
+    return scale * 2.0
+
+
+def no_float_contract(name: str, count: int):
+    return name * count

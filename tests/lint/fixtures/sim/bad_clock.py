@@ -1,0 +1,24 @@
+"""Determinism-hygiene fixture (RPR3xx): wall clock + OS entropy in ``sim``."""
+
+import os
+import time
+from time import time as wall_clock
+
+
+def stamp_results(values):
+    return {"generated_at": time.time(), "values": values}  # expect: RPR301
+
+
+def stamp_results_bare(values):
+    return {"generated_at": wall_clock(), "values": values}  # expect: RPR301
+
+
+def entropy_seed():
+    return int.from_bytes(os.urandom(8), "little")  # expect: RPR302
+
+
+def measure(fn):
+    # perf_counter is fine: it measures, it never feeds results.
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,19 @@
+"""Inline-suppression fixture: pragmas silence, markers still fire."""
+
+import math
+
+
+def to_linear_allowed(snr_db):
+    return 10.0 ** (snr_db / 10.0)  # repro-lint: disable=RPR001
+
+
+def to_db_allowed(ratio):
+    return 10.0 * math.log10(ratio)  # repro-lint: disable=all
+
+
+def wrong_code_suppressed(snr_db):
+    return 10.0 ** (snr_db / 10.0)  # repro-lint: disable=RPR002  # expect: RPR001
+
+
+def still_flagged(snr_db):
+    return 10.0 ** (snr_db / 10.0)  # expect: RPR001

@@ -1,0 +1,90 @@
+"""The ``repro-lint`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+from tests.lint.conftest import FIXTURES
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "clean_units.py")]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, capsys):
+        assert main([str(FIXTURES / "bad_units.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "RPR003" in out
+
+    def test_unparsable_file_exits_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def incomplete(:\n")
+        assert main([str(broken)]) == 2
+        assert "RPR000" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(FIXTURES / "no_such_file.py")])
+        assert excinfo.value.code == 2
+
+    def test_unknown_select_code_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(FIXTURES / "bad_units.py"), "--select", "RPR999"])
+        assert excinfo.value.code == 2
+
+
+class TestOutputFormats:
+    def test_text_lines_carry_location_and_code(self, capsys):
+        main([str(FIXTURES / "bad_rng.py")])
+        lines = capsys.readouterr().out.splitlines()
+        flagged = [line for line in lines if "RPR103" in line]
+        assert flagged and "bad_rng.py:16:" in flagged[0]
+
+    def test_json_payload_round_trips(self, capsys):
+        code = main([str(FIXTURES / "bad_units.py"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["files_checked"] == 1
+        codes = {v["code"] for v in payload["violations"]}
+        assert codes == {"RPR001", "RPR002", "RPR003"}
+        first = payload["violations"][0]
+        assert set(first) == {"path", "line", "col", "code", "message"}
+
+
+class TestRuleSelection:
+    def test_select_narrows_to_one_family(self, capsys):
+        assert main(
+            [str(FIXTURES / "bad_units.py"), "--select", "RPR001", "-q"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "RPR002" not in out and "RPR003" not in out
+
+    def test_ignore_drops_codes(self, capsys):
+        assert main(
+            [
+                str(FIXTURES / "bad_units.py"),
+                "--ignore",
+                "RPR001,RPR002,RPR003",
+            ]
+        ) == 0
+
+    def test_list_rules_names_every_family(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in (
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR101",
+            "RPR102",
+            "RPR103",
+            "RPR104",
+            "RPR201",
+            "RPR301",
+            "RPR302",
+        ):
+            assert code in out

@@ -1,0 +1,43 @@
+"""RPR3xx — determinism-hygiene rules."""
+
+from tests.lint.conftest import FIXTURES, expected_markers, lint_found
+
+
+class TestHygieneFixture:
+    def test_exact_codes_and_lines(self):
+        path = FIXTURES / "sim" / "bad_clock.py"
+        assert lint_found(path) == expected_markers(path)
+
+    def test_markers_cover_both_codes(self):
+        codes = {
+            code
+            for code, _ in expected_markers(FIXTURES / "sim" / "bad_clock.py")
+        }
+        assert codes == {"RPR301", "RPR302"}
+
+
+class TestScopeOfRule:
+    def test_wall_clock_fine_outside_result_pipelines(self, tmp_path):
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        assert lint_found(target) == set()
+
+    def test_perf_counter_allowed_in_sim(self):
+        # The fixture's measure() helper uses perf_counter; no violation
+        # may land on those lines.
+        path = FIXTURES / "sim" / "bad_clock.py"
+        perf_lines = {
+            lineno
+            for lineno, text in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            )
+            if "perf_counter" in text
+        }
+        assert perf_lines
+        assert not {
+            line for _, line in lint_found(path) if line in perf_lines
+        }

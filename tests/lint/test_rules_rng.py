@@ -1,0 +1,51 @@
+"""RPR1xx — RNG-determinism rules."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+from tests.lint.conftest import FIXTURES, expected_markers, lint_found
+
+SRC_RNG = Path(__file__).parents[2] / "src" / "repro" / "util" / "rng.py"
+
+
+class TestBadRngFixture:
+    def test_exact_codes_and_lines(self):
+        path = FIXTURES / "bad_rng.py"
+        assert lint_found(path) == expected_markers(path)
+
+    def test_markers_cover_all_four_codes(self):
+        codes = {code for code, _ in expected_markers(FIXTURES / "bad_rng.py")}
+        assert codes == {"RPR101", "RPR102", "RPR103", "RPR104"}
+
+
+class TestCleanRngFixture:
+    def test_no_violations(self):
+        assert lint_found(FIXTURES / "clean_rng.py") == set()
+
+
+class TestRngModuleExemption:
+    def test_rng_module_may_touch_numpy_random(self):
+        # util/rng.py is the single place allowed to construct generators.
+        result = lint_paths([SRC_RNG])
+        assert [v.format_text() for v in result.violations] == []
+
+
+class TestSeedlessFunctionRule:
+    def test_seed_suffix_parameter_satisfies(self, tmp_path):
+        target = tmp_path / "suffixed.py"
+        target.write_text(
+            "from repro.util.rng import make_rng\n"
+            "def sample(n, trace_seed):\n"
+            "    return make_rng(trace_seed).normal(size=n)\n"
+        )
+        assert lint_found(target) == set()
+
+    def test_module_level_code_is_not_flagged(self, tmp_path):
+        # Scripts may seed at module level; the contract binds functions.
+        target = tmp_path / "script.py"
+        target.write_text(
+            "from repro.util.rng import make_rng\n"
+            "RNG = make_rng(0)\n"
+        )
+        assert lint_found(target) == set()

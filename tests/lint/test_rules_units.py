@@ -1,0 +1,58 @@
+"""RPR0xx — unit-discipline rules."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+from tests.lint.conftest import FIXTURES, expected_markers, lint_found
+
+SRC_UNITS = Path(__file__).parents[2] / "src" / "repro" / "util" / "units.py"
+
+
+class TestBadUnitsFixture:
+    def test_exact_codes_and_lines(self):
+        path = FIXTURES / "bad_units.py"
+        assert lint_found(path) == expected_markers(path)
+
+    def test_markers_cover_all_three_codes(self):
+        codes = {code for code, _ in expected_markers(FIXTURES / "bad_units.py")}
+        assert codes == {"RPR001", "RPR002", "RPR003"}
+
+
+class TestCleanUnitsFixture:
+    def test_no_violations(self):
+        assert lint_found(FIXTURES / "clean_units.py") == set()
+
+
+class TestUnitsModuleExemption:
+    def test_units_module_may_spell_out_db_math(self):
+        # The one module allowed to hand-roll conversions is util/units.py
+        # itself — linting it alone must stay clean.
+        result = lint_paths([SRC_UNITS])
+        assert [v.format_text() for v in result.violations] == []
+
+
+class TestSuffixMismatchResolution:
+    def test_mismatch_needs_known_signature(self, tmp_path):
+        # Callee not defined in the linted file set: no signature, no flag.
+        target = tmp_path / "unknown_callee.py"
+        target.write_text("def caller(snr_db):\n    return external(snr_db)\n")
+        assert lint_found(target) == set()
+
+    def test_ambiguous_signatures_are_skipped(self, tmp_path):
+        target = tmp_path / "ambiguous.py"
+        target.write_text(
+            "def f(power_w):\n"
+            "    return power_w\n"
+            "def g(snr_db):\n"
+            "    return f(snr_db)\n"
+        )
+        other = tmp_path / "other.py"
+        other.write_text("def f(level_db, extra):\n    return level_db\n")
+        # Linted together, f() has two conflicting signatures -> skip.
+        from repro.lint import lint_paths as run
+
+        result = run([target, other])
+        assert [v for v in result.violations if v.code == "RPR003"] == []
+        # Linted alone, the mismatch is resolvable and fires.
+        assert ("RPR003", 4) in lint_found(target)

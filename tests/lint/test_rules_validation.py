@@ -1,0 +1,53 @@
+"""RPR201 — boundary-validation rule."""
+
+from tests.lint.conftest import FIXTURES, expected_markers, lint_found
+
+
+class TestBoundaryFixture:
+    def test_exact_codes_and_lines(self):
+        path = FIXTURES / "sic" / "bad_boundary.py"
+        assert lint_found(path) == expected_markers(path)
+
+    def test_single_unchecked_function_flagged(self):
+        markers = expected_markers(FIXTURES / "sic" / "bad_boundary.py")
+        assert {code for code, _ in markers} == {"RPR201"}
+        assert len(markers) == 1
+
+
+class TestScopeOfRule:
+    def test_rule_only_binds_boundary_packages(self, tmp_path):
+        # Identical code outside phy/sic/topology is not boundary code.
+        target = tmp_path / "elsewhere.py"
+        target.write_text(
+            "def unchecked_rate(bandwidth_hz: float):\n"
+            "    return bandwidth_hz\n"
+        )
+        assert lint_found(target) == set()
+
+    def test_unannotated_params_are_not_bound(self, tmp_path):
+        # The float contract is annotation-driven.
+        pkg = tmp_path / "phy"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        target = pkg / "loose.py"
+        target.write_text(
+            "def unannotated(bandwidth_hz):\n"
+            "    return bandwidth_hz\n"
+        )
+        assert lint_found(target) == set()
+
+    def test_transitive_delegation_accepted(self, tmp_path):
+        pkg = tmp_path / "topology"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        target = pkg / "chain.py"
+        target.write_text(
+            "from repro.util.validation import check_positive\n"
+            "def deep(x: float):\n"
+            "    return mid(x)\n"
+            "def mid(x: float):\n"
+            "    return base(x)\n"
+            "def base(x: float):\n"
+            "    return check_positive('x', x)\n"
+        )
+        assert lint_found(target) == set()

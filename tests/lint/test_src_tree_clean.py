@@ -1,0 +1,19 @@
+"""The acceptance gate: ``repro-lint`` must pass on the shipped tree.
+
+This is the same check CI's lint job runs; keeping it in the test suite
+means a convention regression fails ``pytest`` locally before it ever
+reaches CI.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def test_src_tree_is_convention_clean():
+    result = lint_paths([SRC])
+    assert result.files_checked > 50
+    assert [v.format_text() for v in result.violations] == []
+    assert [e.format_text() for e in result.errors] == []

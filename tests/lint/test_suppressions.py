@@ -1,0 +1,35 @@
+"""Inline ``# repro-lint: disable=...`` pragmas."""
+
+from repro.lint.context import parse_suppressions
+
+from tests.lint.conftest import FIXTURES, expected_markers, lint_found
+
+
+class TestSuppressedFixture:
+    def test_only_marked_lines_fire(self):
+        # Two pragma'd conversions stay silent; the wrong-code pragma and
+        # the bare violation still fire.
+        path = FIXTURES / "suppressed.py"
+        found = lint_found(path)
+        assert found == expected_markers(path)
+        assert len(found) == 2
+        assert {code for code, _ in found} == {"RPR001"}
+
+
+class TestPragmaParsing:
+    def test_single_code(self):
+        got = parse_suppressions("x = 1  # repro-lint: disable=RPR001\n")
+        assert got == {1: frozenset({"RPR001"})}
+
+    def test_multiple_codes_and_whitespace(self):
+        got = parse_suppressions(
+            "y = 2  # repro-lint: disable=RPR001, RPR103\n"
+        )
+        assert got == {1: frozenset({"RPR001", "RPR103"})}
+
+    def test_disable_all(self):
+        got = parse_suppressions("z = 3  # repro-lint: disable=all\n")
+        assert got == {1: frozenset({"all"})}
+
+    def test_plain_comments_are_not_pragmas(self):
+        assert parse_suppressions("a = 4  # mentions RPR001 only\n") == {}
