@@ -8,7 +8,9 @@ very little even with the optimizations.
 
 Runs on the batched Monte-Carlo engines; the two panels get spawned
 ``SeedSequence`` children (stable content for the result cache), and
-``n_workers``/``chunk_size``/``cache`` pass straight through.
+``n_workers``/``chunk_size``/``cache``/``policy`` pass straight
+through (``policy`` carries the supervised executor's fault-tolerance
+knobs; see ``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from typing import Dict, Optional
 from repro.experiments.montecarlo import (
     CacheLike,
     MonteCarloConfig,
+    PolicyLike,
     one_receiver_technique_gains,
     two_receiver_technique_gains,
 )
@@ -31,7 +34,8 @@ def compute(n_samples: int = 10_000,
             seed: SeedLike = 2010,
             n_workers: int = 1,
             chunk_size: Optional[int] = None,
-            cache: CacheLike = None) -> Dict[str, Dict[str, object]]:
+            cache: CacheLike = None,
+            policy: PolicyLike = None) -> Dict[str, Dict[str, object]]:
     """Both panels: per-technique gain samples plus summaries.
 
     Returns ``{"one_receiver": {technique: {...}},
@@ -44,13 +48,15 @@ def compute(n_samples: int = 10_000,
 
     result: Dict[str, Dict[str, object]] = {}
     one = one_receiver_technique_gains(config, seed_one, n_workers=n_workers,
-                                       chunk_size=chunk_size, cache=cache)
+                                       chunk_size=chunk_size, cache=cache,
+                                       policy=policy)
     result["one_receiver"] = {
         technique: {"gains": gains, "summary": gain_cdf_summary(gains)}
         for technique, gains in one.items()
     }
     two = two_receiver_technique_gains(config, seed_two, n_workers=n_workers,
-                                       chunk_size=chunk_size, cache=cache)
+                                       chunk_size=chunk_size, cache=cache,
+                                       policy=policy)
     result["two_receivers"] = {
         technique: {"gains": gains, "summary": gain_cdf_summary(gains)}
         for technique, gains in two.items()

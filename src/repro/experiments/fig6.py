@@ -8,8 +8,10 @@ exponents and other ranges ... are even lower").
 
 Runs on the batched Monte-Carlo engine: per-range seeds are spawned as
 ``SeedSequence`` children (stable content for the result cache), and
-``n_workers``/``chunk_size``/``cache`` pass straight through to
-:func:`repro.experiments.montecarlo.two_receiver_scenarios`.
+``n_workers``/``chunk_size``/``cache``/``policy`` pass straight through
+to :func:`repro.experiments.montecarlo.two_receiver_scenarios` (the
+``policy`` knob is the supervised executor's fault-tolerance bundle;
+see ``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from typing import Dict, Optional, Sequence
 from repro.experiments.montecarlo import (
     CacheLike,
     MonteCarloConfig,
+    PolicyLike,
     two_receiver_scenarios,
 )
 from repro.util.cdf import gain_cdf_summary
@@ -33,7 +36,8 @@ def compute(ranges_m: Sequence[float] = DEFAULT_RANGES_M,
             seed: SeedLike = 2010,
             n_workers: int = 1,
             chunk_size: Optional[int] = None,
-            cache: CacheLike = None) -> Dict[str, Dict[str, object]]:
+            cache: CacheLike = None,
+            policy: PolicyLike = None) -> Dict[str, Dict[str, object]]:
     """Gain samples and summaries, one entry per transmitter range.
 
     Returns ``{range_label: {"gains": ndarray, "summary": {...}}}``.
@@ -45,7 +49,7 @@ def compute(ranges_m: Sequence[float] = DEFAULT_RANGES_M,
                                   pathloss_exponent=pathloss_exponent)
         gains, case_fractions = two_receiver_scenarios(
             config, range_seed, n_workers=n_workers,
-            chunk_size=chunk_size, cache=cache)
+            chunk_size=chunk_size, cache=cache, policy=policy)
         results[f"range={range_m:g}m"] = {
             "gains": gains,
             "summary": gain_cdf_summary(gains),

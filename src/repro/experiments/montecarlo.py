@@ -35,13 +35,21 @@ Results are memoised through :class:`repro.util.cache.ResultCache`
 ``(engine, config, seed, chunking, code version)``.  Bump
 :data:`MONTECARLO_CODE_VERSION` whenever the sampled distributions or
 the gain arithmetic change.
+
+Chunked runs execute under the *supervised executor*
+(:mod:`repro.experiments.runner`): failed chunks are retried, broken
+process pools are rebuilt (and eventually degraded to in-process
+execution with a warning), and — when ``REPRO_CHECKPOINT_DIR`` or an
+explicit :class:`~repro.experiments.runner.ExecutionPolicy` names a
+checkpoint directory — completed chunks persist so interrupted sweeps
+resume by recomputing only what is missing.  None of this changes
+results; see ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -66,6 +74,12 @@ from repro.techniques.power_control import (
     power_controlled_pair_airtime,
     power_controlled_pair_airtime_batch,
 )
+from repro.experiments.runner import (
+    ExecutionPolicy,
+    chunk_seeds,
+    chunk_sizes,
+    run_chunked,
+)
 from repro.sic.airtime import z_serial_same_receiver, z_sic_same_receiver
 from repro.topology.generators import (
     PairTopology,
@@ -77,13 +91,34 @@ from repro.topology.generators import (
 )
 from repro.topology.nodes import DEFAULT_TX_POWER_W
 from repro.util.cache import ResultCache
-from repro.util.rng import SeedLike, make_rng, spawn_seed_sequences
+from repro.util.rng import SeedLike, make_rng
 
 #: Cache-invalidation tag for the batched engines: bump on any change
 #: to the sampling recipe or the gain arithmetic.
 MONTECARLO_CODE_VERSION = 1
 
 CacheLike = Optional[ResultCache]
+PolicyLike = Optional[ExecutionPolicy]
+
+__all__ = [
+    "CacheLike",
+    "ExecutionPolicy",
+    "MONTECARLO_CODE_VERSION",
+    "MonteCarloConfig",
+    "PolicyLike",
+    "chunk_seeds",
+    "chunk_sizes",
+    "one_receiver_packing_gain",
+    "one_receiver_technique_gains",
+    "one_receiver_technique_gains_scalar",
+    "two_receiver_gains",
+    "two_receiver_packing_gain",
+    "two_receiver_packing_gain_batch",
+    "two_receiver_scenarios",
+    "two_receiver_scenarios_scalar",
+    "two_receiver_technique_gains",
+    "two_receiver_technique_gains_scalar",
+]
 
 
 @dataclass(frozen=True)
@@ -110,100 +145,21 @@ class MonteCarloConfig:
 
 
 # ---------------------------------------------------------------------------
-# Chunked execution substrate
+# Chunked execution substrate (supervised; see repro.experiments.runner)
 # ---------------------------------------------------------------------------
 
-def chunk_sizes(n_samples: int, chunk_size: Optional[int]) -> List[int]:
-    """Split ``n_samples`` into deterministic chunk lengths.
+def _run_chunked(engine, chunk_fn, config, seed, n_workers, chunk_size,
+                 cache, kwargs, policy=None):
+    """Run one batched engine under the supervised executor.
 
-    ``chunk_size=None`` keeps the whole run in a single chunk (the
-    draw-for-draw-compatible mode); otherwise full chunks of
-    ``chunk_size`` plus one remainder chunk.
+    Thin wrapper binding this module's :data:`MONTECARLO_CODE_VERSION`
+    into :func:`repro.experiments.runner.run_chunked`; kept so the
+    engines (and their tests) have a single local seam.
     """
-    if chunk_size is None:
-        return [n_samples]
-    if chunk_size < 1:
-        raise ValueError("chunk_size must be positive")
-    full, remainder = divmod(n_samples, chunk_size)
-    return [chunk_size] * full + ([remainder] if remainder else [])
-
-
-def chunk_seeds(seed: SeedLike, n_chunks: int) -> List[SeedLike]:
-    """Per-chunk seeds, independent of worker count.
-
-    A single chunk consumes the caller's seed directly (so the batch
-    matches the scalar reference stream); multiple chunks get spawned
-    child ``SeedSequence`` objects, which are picklable and therefore
-    cross process boundaries unchanged.
-    """
-    if n_chunks == 1:
-        return [seed]
-    return list(spawn_seed_sequences(seed, n_chunks))
-
-
-def _seed_cache_token(
-        seed: SeedLike) -> Union[int, np.random.SeedSequence, None]:
-    """A stable, hashable rendering of ``seed`` — or None if the seed
-    cannot key a cache entry (OS entropy, stateful generators)."""
-    if isinstance(seed, (int, np.integer)):
-        return int(seed)
-    if isinstance(seed, np.random.SeedSequence) and seed.entropy is not None:
-        return seed
-    return None
-
-
-def _resolve_cache(cache: CacheLike) -> ResultCache:
-    if isinstance(cache, ResultCache):
-        return cache
-    return ResultCache.from_env()
-
-
-def _run_chunked(engine: str,
-                 chunk_fn: Callable[..., Dict[str, np.ndarray]],
-                 config: MonteCarloConfig, seed: SeedLike,
-                 n_workers: int, chunk_size: Optional[int],
-                 cache: CacheLike,
-                 kwargs: Dict[str, object]) -> Dict[str, np.ndarray]:
-    """Run one batched engine: cache lookup, chunk fan-out, merge.
-
-    ``chunk_fn(config, seed, n, **kwargs)`` evaluates one chunk of
-    ``n`` draws and returns named 1-D arrays; chunks are concatenated
-    in order, so the merged arrays are independent of ``n_workers``.
-    """
-    if n_workers < 1:
-        raise ValueError("n_workers must be positive")
-    sizes = chunk_sizes(config.n_samples, chunk_size)
-    store = _resolve_cache(cache)
-    key = None
-    if store.enabled:
-        token = _seed_cache_token(seed)
-        if token is not None:
-            key = {"engine": engine,
-                   "code_version": MONTECARLO_CODE_VERSION,
-                   "config": asdict(config),
-                   "seed": token,
-                   "chunk_sizes": sizes,
-                   "kwargs": kwargs}
-            cached = store.get(key)
-            if cached is not None:
-                return cached
-
-    seeds = chunk_seeds(seed, len(sizes))
-    if n_workers > 1 and len(sizes) > 1:
-        workers = min(n_workers, len(sizes))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(chunk_fn, config, s, n, **kwargs)
-                       for s, n in zip(seeds, sizes)]
-            chunks = [future.result() for future in futures]
-    else:
-        chunks = [chunk_fn(config, s, n, **kwargs)
-                  for s, n in zip(seeds, sizes)]
-
-    merged = {name: np.concatenate([chunk[name] for chunk in chunks])
-              for name in chunks[0]}
-    if key is not None:
-        store.put(key, merged)
-    return merged
+    return run_chunked(engine, chunk_fn, config, seed,
+                       code_version=MONTECARLO_CODE_VERSION,
+                       n_workers=n_workers, chunk_size=chunk_size,
+                       cache=cache, kwargs=kwargs, policy=policy)
 
 
 # ---------------------------------------------------------------------------
@@ -214,10 +170,12 @@ def two_receiver_gains(config: MonteCarloConfig,
                        seed: SeedLike = None, *,
                        n_workers: int = 1,
                        chunk_size: Optional[int] = None,
-                       cache: CacheLike = None) -> np.ndarray:
+                       cache: CacheLike = None,
+                       policy: PolicyLike = None) -> np.ndarray:
     """Fig. 6: SIC gain samples for random two-pair topologies."""
     gains, _ = two_receiver_scenarios(config, seed, n_workers=n_workers,
-                                      chunk_size=chunk_size, cache=cache)
+                                      chunk_size=chunk_size, cache=cache,
+                                      policy=policy)
     return gains
 
 
@@ -254,7 +212,8 @@ def two_receiver_scenarios(config: MonteCarloConfig,
                            seed: SeedLike = None, *,
                            n_workers: int = 1,
                            chunk_size: Optional[int] = None,
-                           cache: CacheLike = None
+                           cache: CacheLike = None,
+                           policy: PolicyLike = None
                            ) -> Tuple[np.ndarray, Dict[str, float]]:
     """Gain samples plus the Fig. 5 case mix of the sampled topologies.
 
@@ -263,12 +222,13 @@ def two_receiver_scenarios(config: MonteCarloConfig,
     topologies where SIC was actually usable.
 
     Vectorised engine; see the module docstring for the chunking,
-    ``n_workers`` and ``cache`` semantics.  The per-draw reference is
-    :func:`two_receiver_scenarios_scalar`.
+    ``n_workers``, ``cache`` and ``policy`` semantics.  The per-draw
+    reference is :func:`two_receiver_scenarios_scalar`.
     """
     raw = _run_chunked("two_receiver_scenarios",
                        _two_receiver_scenarios_chunk,
-                       config, seed, n_workers, chunk_size, cache, {})
+                       config, seed, n_workers, chunk_size, cache, {},
+                       policy)
     codes = raw["case_codes"].astype(np.uint8)
     feasible = raw["sic_feasible"].astype(bool)
     counts = np.bincount(codes, minlength=len(CASE_ORDER))
@@ -376,6 +336,7 @@ def one_receiver_technique_gains(config: MonteCarloConfig,
                                  n_workers: int = 1,
                                  chunk_size: Optional[int] = None,
                                  cache: CacheLike = None,
+                                 policy: PolicyLike = None,
                                  ) -> Dict[str, np.ndarray]:
     """Fig. 11a: per-technique gain samples, two clients to one AP.
 
@@ -389,7 +350,7 @@ def one_receiver_technique_gains(config: MonteCarloConfig,
     return _run_chunked("one_receiver_technique_gains",
                         _one_receiver_chunk, config, seed, n_workers,
                         chunk_size, cache,
-                        {"max_fast_packets": max_fast_packets})
+                        {"max_fast_packets": max_fast_packets}, policy)
 
 
 def one_receiver_technique_gains_scalar(config: MonteCarloConfig,
@@ -479,6 +440,7 @@ def two_receiver_technique_gains(config: MonteCarloConfig,
                                  n_workers: int = 1,
                                  chunk_size: Optional[int] = None,
                                  cache: CacheLike = None,
+                                 policy: PolicyLike = None,
                                  ) -> Dict[str, np.ndarray]:
     """Fig. 11b: gain samples for two transmitter-receiver pairs.
 
@@ -493,7 +455,7 @@ def two_receiver_technique_gains(config: MonteCarloConfig,
     return _run_chunked("two_receiver_technique_gains",
                         _two_receiver_technique_chunk, config, seed,
                         n_workers, chunk_size, cache,
-                        {"max_fast_packets": max_fast_packets})
+                        {"max_fast_packets": max_fast_packets}, policy)
 
 
 def two_receiver_technique_gains_scalar(config: MonteCarloConfig,

@@ -1,0 +1,386 @@
+"""Supervised chunked execution for the Monte-Carlo engines.
+
+PR 1's chunked substrate fanned chunks out to a ``ProcessPoolExecutor``
+and hoped: one crashed worker, one wedged pool, or one interrupt killed
+the whole sweep.  This module replaces that with a **supervisor** that
+keeps the hard invariant — results bit-identical to a fault-free serial
+run — while recovering from:
+
+* **chunk failures** — each failed chunk is retried under a
+  :class:`~repro.util.faults.RetryPolicy` (bounded attempts,
+  deterministic backoff through an injectable sleep hook); a chunk that
+  exhausts its budget raises :class:`ChunkExecutionError`;
+* **pool failures** — ``BrokenProcessPool`` (a worker OOM-killed or
+  segfaulted) and worker timeouts rebuild the pool and resubmit *only
+  the chunks still missing*; after ``max_pool_rebuilds`` consecutive
+  pool deaths the supervisor degrades to in-process execution with a
+  structured :class:`ExecutionDegradedWarning` — never a silent
+  behaviour change;
+* **interruption** — with a checkpoint directory configured
+  (``REPRO_CHECKPOINT_DIR`` or :attr:`ExecutionPolicy.checkpoint_dir`)
+  every completed chunk is persisted atomically
+  (:class:`~repro.util.checkpoint.CheckpointStore`); a resumed sweep
+  reloads verified chunks and recomputes only the rest.
+
+Determinism holds because chunk ``i``'s result is a pure function of
+``(config, chunk seed i, chunk size i)``: retries, pool rebuilds,
+degradation and resume all re-evaluate the *same* pure function, so
+worker count, retry count and resume-vs-fresh never change results.
+Every recovery path is testable via the deterministic
+:class:`~repro.util.faults.FaultInjector` (seeded, keyed on
+``(engine, chunk_index, attempt)`` — no wall clock, no global
+randomness).
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.util.cache import ResultCache
+from repro.util.checkpoint import CheckpointStore, checkpoint_dir_from_env
+from repro.util.faults import FaultInjector, RetryPolicy
+from repro.util.rng import SeedLike, spawn_seed_sequences
+
+ChunkResult = Dict[str, np.ndarray]
+ChunkFn = Callable[..., ChunkResult]
+
+
+class ExecutionDegradedWarning(RuntimeWarning):
+    """Pool execution fell back to in-process after repeated pool deaths.
+
+    Structured: carries the engine name, the number of pool failures
+    observed, and the last failure's description, so callers can log or
+    assert on the degradation instead of parsing a message.
+    """
+
+    def __init__(self, engine: str, pool_failures: int, reason: str) -> None:
+        self.engine = engine
+        self.pool_failures = pool_failures
+        self.reason = reason
+        super().__init__(
+            f"engine {engine!r}: process pool failed {pool_failures} times "
+            f"(last: {reason}); degrading to in-process execution — results "
+            "are unchanged, throughput is not")
+
+
+class ChunkExecutionError(RuntimeError):
+    """A chunk kept failing after exhausting its retry budget."""
+
+    def __init__(self, engine: str, chunk_index: int, attempts: int,
+                 last_error: BaseException) -> None:
+        self.engine = engine
+        self.chunk_index = chunk_index
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"engine {engine!r}: chunk {chunk_index} failed "
+            f"{attempts} attempt(s); last error: {last_error!r}")
+
+
+class _PoolBroken(Exception):
+    """Internal: the current pool round is unusable (rebuild or degrade)."""
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Fault-tolerance knobs threaded through every batched engine.
+
+    The default policy retries each chunk up to
+    ``RetryPolicy.max_attempts`` times with no backoff sleeping,
+    rebuilds a broken pool up to ``max_pool_rebuilds`` times before
+    degrading to in-process execution, and checkpoints only when a
+    directory is configured.  ``faults`` is the deterministic injector
+    used by the resilience tests; production runs leave it ``None``.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    max_pool_rebuilds: int = 2
+    worker_timeout_s: Optional[float] = None
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    faults: Optional[FaultInjector] = None
+
+    def __post_init__(self) -> None:
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be non-negative")
+        if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
+            raise ValueError("worker_timeout_s must be positive")
+
+    @classmethod
+    def from_env(cls) -> "ExecutionPolicy":
+        """Default policy plus ``$REPRO_CHECKPOINT_DIR`` when set."""
+        return cls(checkpoint_dir=checkpoint_dir_from_env())
+
+
+# ---------------------------------------------------------------------------
+# Chunk layout (deterministic; shared with the engines' public helpers)
+# ---------------------------------------------------------------------------
+
+def chunk_sizes(n_samples: int, chunk_size: Optional[int]) -> List[int]:
+    """Split ``n_samples`` into deterministic chunk lengths.
+
+    ``chunk_size=None`` keeps the whole run in a single chunk (the
+    draw-for-draw-compatible mode); otherwise full chunks of
+    ``chunk_size`` plus one remainder chunk.
+    """
+    if chunk_size is None:
+        return [n_samples]
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    full, remainder = divmod(n_samples, chunk_size)
+    return [chunk_size] * full + ([remainder] if remainder else [])
+
+
+def chunk_seeds(seed: SeedLike, n_chunks: int) -> List[SeedLike]:
+    """Per-chunk seeds, independent of worker count.
+
+    A single chunk consumes the caller's seed directly (so the batch
+    matches the scalar reference stream); multiple chunks get spawned
+    child ``SeedSequence`` objects, which are picklable and therefore
+    cross process boundaries unchanged.
+    """
+    if n_chunks == 1:
+        return [seed]
+    return list(spawn_seed_sequences(seed, n_chunks))
+
+
+def _seed_cache_token(
+        seed: SeedLike) -> Union[int, np.random.SeedSequence, None]:
+    """A stable, hashable rendering of ``seed`` — or None if the seed
+    cannot key a cache entry (OS entropy, stateful generators)."""
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence) and seed.entropy is not None:
+        return seed
+    return None
+
+
+def _resolve_cache(cache: Optional[ResultCache]) -> ResultCache:
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache.from_env()
+
+
+def _guarded_chunk(chunk_fn: ChunkFn, config: object, seed: SeedLike,
+                   n: int, kwargs: Mapping[str, object],
+                   faults: Optional[FaultInjector], engine: str,
+                   chunk_index: int, attempt: int) -> ChunkResult:
+    """Evaluate one chunk attempt, applying injected faults first.
+
+    Module-level (not a closure) so the pool can pickle it; runs inside
+    the worker, so an injected fault exercises the same
+    exception-through-``Future`` path a real crash does.
+    """
+    if faults is not None:
+        faults.check_chunk(engine, chunk_index, attempt)
+    return chunk_fn(config, seed, n, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+# ---------------------------------------------------------------------------
+
+class _Supervisor:
+    """Drives one sweep's chunks to completion despite faults."""
+
+    def __init__(self, engine: str, chunk_fn: ChunkFn, config: object,
+                 seeds: List[SeedLike], sizes: List[int],
+                 kwargs: Mapping[str, object], policy: ExecutionPolicy,
+                 checkpoint: Optional[CheckpointStore]) -> None:
+        self.engine = engine
+        self.chunk_fn = chunk_fn
+        self.config = config
+        self.seeds = seeds
+        self.sizes = sizes
+        self.kwargs = kwargs
+        self.policy = policy
+        self.checkpoint = checkpoint
+        self.results: Dict[int, ChunkResult] = {}
+        #: Attempt number the next invocation of each chunk will carry.
+        self.next_attempt: Dict[int, int] = {}
+        self.pool_failures = 0
+        self.pool_round = 0
+
+    # -- shared bookkeeping -----------------------------------------------
+
+    def pending(self) -> List[int]:
+        return [i for i in range(len(self.sizes)) if i not in self.results]
+
+    def _restore_checkpointed(self) -> None:
+        if self.checkpoint is None:
+            return
+        for index in self.checkpoint.completed_chunks():
+            chunk = self.checkpoint.get_chunk(index)
+            if chunk is not None:
+                self.results[index] = chunk
+
+    def _finish_chunk(self, index: int, chunk: ChunkResult) -> None:
+        self.results[index] = chunk
+        if self.checkpoint is not None:
+            self.checkpoint.put_chunk(index, chunk)
+
+    def _submit_args(self, index: int) -> tuple:
+        attempt = self.next_attempt.setdefault(index, 1)
+        return (self.chunk_fn, self.config, self.seeds[index],
+                self.sizes[index], self.kwargs, self.policy.faults,
+                self.engine, index, attempt)
+
+    def _record_chunk_failure(self, index: int, exc: BaseException) -> None:
+        """Book a failed attempt; raise when the retry budget is gone."""
+        attempt = self.next_attempt.get(index, 1)
+        if attempt >= self.policy.retry.max_attempts:
+            raise ChunkExecutionError(self.engine, index, attempt, exc)
+        self.policy.retry.wait(attempt)
+        self.next_attempt[index] = attempt + 1
+
+    # -- execution modes --------------------------------------------------
+
+    def run(self, n_workers: int) -> Dict[int, ChunkResult]:
+        self._restore_checkpointed()
+        if n_workers > 1 and len(self.pending()) > 1:
+            self._run_pooled(n_workers)
+        self._run_inline()
+        return self.results
+
+    def _run_inline(self) -> None:
+        for index in self.pending():
+            while True:
+                try:
+                    chunk = _guarded_chunk(*self._submit_args(index))
+                except Exception as exc:  # anything a worker can die of
+                    self._record_chunk_failure(index, exc)
+                else:
+                    self._finish_chunk(index, chunk)
+                    break
+
+    def _run_pooled(self, n_workers: int) -> None:
+        """Pool rounds with rebuild-on-break; degrades after the budget."""
+        while len(self.pending()) > 1:
+            try:
+                self._pool_round(n_workers)
+                return
+            except _PoolBroken as exc:
+                self.pool_failures += 1
+                if self.pool_failures > self.policy.max_pool_rebuilds:
+                    warnings.warn(
+                        ExecutionDegradedWarning(
+                            self.engine, self.pool_failures, str(exc)),
+                        stacklevel=2)
+                    return  # the inline pass finishes the sweep
+
+    def _pool_round(self, n_workers: int) -> None:
+        """One pool lifetime: submit all pending chunks, drain, retry.
+
+        Raises :class:`_PoolBroken` when the pool dies (for real, or by
+        injection) so the caller can rebuild with only missing chunks.
+        """
+        round_index = self.pool_round
+        self.pool_round += 1
+        faults = self.policy.faults
+        if faults is not None and faults.should_break_pool(round_index):
+            raise _PoolBroken(f"injected pool break (round {round_index})")
+        pending = self.pending()
+        workers = min(n_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: Dict[Future, int] = {}
+            try:
+                for index in pending:
+                    futures[pool.submit(
+                        _guarded_chunk, *self._submit_args(index))] = index
+                self._drain(pool, futures)
+            except BrokenExecutor as exc:
+                raise _PoolBroken(str(exc) or type(exc).__name__) from exc
+
+    def _drain(self, pool: ProcessPoolExecutor,
+               futures: Dict[Future, int]) -> None:
+        timeout = self.policy.worker_timeout_s
+        while futures:
+            done, _ = wait(frozenset(futures), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                for future in futures:
+                    future.cancel()
+                raise _PoolBroken(
+                    f"no worker progress within {timeout:g}s")
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    chunk = future.result()
+                except BrokenExecutor:
+                    raise
+                except Exception as exc:  # anything a worker can die of
+                    self._record_chunk_failure(index, exc)
+                    futures[pool.submit(
+                        _guarded_chunk, *self._submit_args(index))] = index
+                else:
+                    self._finish_chunk(index, chunk)
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+def run_chunked(engine: str, chunk_fn: ChunkFn, config, seed: SeedLike, *,
+                code_version: int, n_workers: int = 1,
+                chunk_size: Optional[int] = None,
+                cache: Optional[ResultCache] = None,
+                kwargs: Optional[Mapping[str, object]] = None,
+                policy: Optional[ExecutionPolicy] = None) -> ChunkResult:
+    """Run one batched engine under supervision; return merged arrays.
+
+    ``chunk_fn(config, seed, n, **kwargs)`` evaluates one chunk of
+    ``n`` draws and returns named 1-D arrays; chunks are concatenated
+    in index order, so the merged arrays depend only on
+    ``(seed, n_samples, chunk_size)`` — never on ``n_workers``, retry
+    outcomes, or whether the run resumed from a checkpoint.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    kwargs = dict(kwargs or {})
+    policy = policy if policy is not None else ExecutionPolicy.from_env()
+    sizes = chunk_sizes(config.n_samples, chunk_size)
+    token = _seed_cache_token(seed)
+
+    run_key = None
+    if token is not None:
+        run_key = {"engine": engine,
+                   "code_version": code_version,
+                   "config": _config_key(config),
+                   "seed": token,
+                   "chunk_sizes": sizes,
+                   "kwargs": kwargs}
+
+    store = _resolve_cache(cache)
+    key = run_key if store.enabled else None
+    if key is not None:
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+
+    checkpoint = None
+    if policy.checkpoint_dir is not None and run_key is not None:
+        checkpoint = CheckpointStore(policy.checkpoint_dir, run_key,
+                                     n_chunks=len(sizes))
+
+    seeds = chunk_seeds(seed, len(sizes))
+    supervisor = _Supervisor(engine, chunk_fn, config, seeds, sizes,
+                             kwargs, policy, checkpoint)
+    chunks = supervisor.run(n_workers)
+
+    merged = {name: np.concatenate([chunks[i][name]
+                                    for i in range(len(sizes))])
+              for name in chunks[0]}
+    if key is not None:
+        store.put(key, merged)
+    return merged
+
+
+def _config_key(config) -> Mapping[str, object]:
+    """The cache/checkpoint rendering of an engine config dataclass."""
+    return asdict(config)

@@ -4,7 +4,11 @@ The chunked Monte-Carlo engines promise bit-identical results for a
 given ``(seed, n_samples, chunk_size)`` regardless of worker count.
 Wall-clock reads and OS entropy inside ``experiments``/``sim`` result
 paths silently break that promise (``time.perf_counter`` remains fine
-for *measuring* elapsed time — it never feeds results).
+for *measuring* elapsed time — it never feeds results).  Retry and
+backoff paths (``experiments``/``sim``/``util``) must route waiting
+through the injectable :class:`repro.util.faults.RetryPolicy` sleep
+hook — a bare ``time.sleep`` makes recovery untestable and couples the
+supervisor to the wall clock.
 """
 
 from __future__ import annotations
@@ -19,6 +23,9 @@ from repro.lint.violations import Violation
 
 #: Packages holding the deterministic result pipelines.
 DETERMINISTIC_PACKAGES: FrozenSet[str] = frozenset({"experiments", "sim"})
+
+#: Packages whose retry/backoff paths must use the injectable sleep hook.
+RETRY_PATH_PACKAGES: FrozenSet[str] = DETERMINISTIC_PACKAGES | {"util"}
 
 
 def _applies(ctx: FileContext) -> bool:
@@ -92,4 +99,41 @@ class OsEntropyRule(Rule):
                 and node.id in bindings
                 and isinstance(node.ctx, ast.Load)
             ):
+                yield ctx.make_violation(node, self.code, self.summary)
+
+
+@register
+class BareSleepRule(Rule):
+    """RPR303 — bare ``time.sleep`` in a retry/backoff path.
+
+    Sleeping directly couples recovery to the wall clock and makes
+    every retry test take real seconds.  ``RetryPolicy`` carries an
+    injectable ``sleep`` callable precisely so supervisors stay
+    clock-free by default and tests can record delays instead of
+    serving them; calls through an injected callable (a parameter or
+    attribute named ``sleep``) are fine.
+    """
+
+    code = "RPR303"
+    summary = (
+        "bare time.sleep bypasses the injectable RetryPolicy sleep hook; "
+        "accept a sleep callable (repro.util.faults.RetryPolicy) instead"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if not ctx.in_any_package(*RETRY_PATH_PACKAGES):
+            return
+        bindings = _bindings_of(ctx.tree, "time", "sleep")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield ctx.make_violation(node, self.code, self.summary)
+            elif isinstance(func, ast.Name) and func.id in bindings:
                 yield ctx.make_violation(node, self.code, self.summary)

@@ -6,9 +6,11 @@ internally, dB only at the API boundary, explicit seeded RNGs everywhere)
 are what keep the rest of the reproduction numerically honest.
 """
 
-from repro.util.cache import ResultCache, stable_hash
+from repro.util.cache import ResultCache, array_digest, stable_hash
 from repro.util.cdf import EmpiricalCdf, fraction_at_least, gain_cdf_summary
+from repro.util.checkpoint import CheckpointStore
 from repro.util.containers import GridResult, SweepResult
+from repro.util.faults import FaultInjector, InjectedFault, RetryPolicy
 from repro.util.rng import make_rng, spawn_rngs, spawn_seed_sequences
 from repro.util.units import (
     db_to_linear,
@@ -24,10 +26,15 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "CheckpointStore",
     "EmpiricalCdf",
+    "FaultInjector",
     "GridResult",
+    "InjectedFault",
     "ResultCache",
+    "RetryPolicy",
     "SweepResult",
+    "array_digest",
     "check_finite",
     "check_in_range",
     "check_positive",

@@ -8,10 +8,20 @@ reuse the 10 000-draw sample sets instead of recomputing them.
 
 Keys are built from a canonical JSON rendering of the key parts and
 hashed with SHA-256; each entry is one ``<hash>.npz`` file (the arrays)
-plus one ``<hash>.json`` sidecar (the human-readable key, for cache
-inspection and debugging).  Invalidation is by construction: any change
+plus one ``<hash>.json`` sidecar (the human-readable key and the
+entry's content digest).  Invalidation is by construction: any change
 to the config, the seed, or the engine's ``code_version`` constant
 changes the hash, so stale entries are simply never read again.
+
+Integrity: every ``put`` stores a SHA-256 digest of the array
+*contents* (:func:`array_digest`) in the sidecar, and every ``get``
+verifies it after loading.  An entry that fails to load or fails
+verification is **quarantined** — moved (never deleted) into a
+``corrupt/`` subdirectory for post-mortem inspection — counted on
+:attr:`ResultCache.quarantined`, and reported as a miss so callers
+recompute.  Both the payload and the sidecar are written via
+tmp-file + ``os.replace``, so a crash mid-write can never leave a
+half-written entry that later reads as valid.
 
 The cache root resolves in this order:
 
@@ -26,13 +36,21 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 #: Environment variable naming the cache directory (enables caching).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory (of a cache/checkpoint root) holding quarantined entries.
+QUARANTINE_DIRNAME = "corrupt"
+
+#: Exceptions ``np.load`` raises on truncated or non-npz payloads.
+_LOAD_ERRORS = (OSError, ValueError, EOFError, zipfile.BadZipFile, KeyError)
 
 
 def _canonical(value):
@@ -60,6 +78,75 @@ def stable_hash(key_parts: Mapping[str, object]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def array_digest(arrays: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over the *contents* of named arrays.
+
+    Hashes ``(name, dtype, shape, raw bytes)`` in name order, so the
+    digest is independent of container metadata (npz timestamps,
+    compression level) — two writes of the same arrays always agree,
+    which keeps concurrent writers of one key digest-consistent.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        data = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(data.dtype.str.encode("ascii"))
+        digest.update(repr(data.shape).encode("ascii"))
+        digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via tmp file + atomic ``os.replace``."""
+    tmp_path = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp_path.write_bytes(payload)
+        os.replace(tmp_path, path)
+    finally:
+        _unlink_quietly(tmp_path)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Text flavour of :func:`atomic_write_bytes` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def quarantine_paths(root: Path, *paths: Path) -> int:
+    """Move ``paths`` into ``root/corrupt/`` (never delete); count moves.
+
+    Concurrent quarantines of the same entry tolerate each other: a
+    path that vanished mid-move is simply skipped.
+    """
+    quarantine_dir = root / QUARANTINE_DIRNAME
+    moved = 0
+    try:
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return 0
+    for path in paths:
+        try:
+            os.replace(path, quarantine_dir / path.name)
+            moved += 1
+        except OSError:
+            continue
+    return moved
+
+
+def _unlink_quietly(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+@dataclass(frozen=True)
+class ClearResult:
+    """Counts from :meth:`ResultCache.clear`, quarantine kept separate."""
+
+    removed: int
+    quarantined: int
+
+
 class ResultCache:
     """Content-addressed store of named float arrays.
 
@@ -70,6 +157,9 @@ class ResultCache:
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root) if root is not None else None
+        #: Entries this instance moved to ``corrupt/`` (digest mismatch
+        #: or unreadable payload).
+        self.quarantined = 0
 
     @classmethod
     def from_env(cls) -> "ResultCache":
@@ -81,27 +171,57 @@ class ResultCache:
     def enabled(self) -> bool:
         return self.root is not None
 
-    def _paths(self, key_parts: Mapping[str, object]):
+    def _paths(self, key_parts: Mapping[str, object]) -> Tuple[Path, Path]:
         digest = stable_hash(key_parts)
+        assert self.root is not None
         return (self.root / f"{digest}.npz", self.root / f"{digest}.json")
+
+    def _expected_digest(self, meta_path: Path) -> Optional[str]:
+        """The content digest recorded in the sidecar, if any.
+
+        Entries written before digests existed (or whose sidecar was
+        lost) return ``None`` and are loaded unverified — integrity is
+        opt-in per entry, never a flag-day for existing caches.
+        """
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        digest = meta.get("sha256") if isinstance(meta, dict) else None
+        return digest if isinstance(digest, str) else None
+
+    def _quarantine(self, *paths: Path) -> None:
+        assert self.root is not None
+        if quarantine_paths(self.root, *paths):
+            self.quarantined += 1
 
     def get(self, key_parts: Mapping[str, object]
             ) -> Optional[Dict[str, np.ndarray]]:
-        """The stored arrays for this key, or ``None`` on a miss."""
+        """The stored arrays for this key, or ``None`` on a miss.
+
+        A corrupt entry (unreadable npz, or content digest differing
+        from the sidecar's) is quarantined and reported as a miss.
+        """
         if not self.enabled:
             return None
-        data_path, _ = self._paths(key_parts)
+        data_path, meta_path = self._paths(key_parts)
         if not data_path.exists():
             return None
         try:
             with np.load(data_path) as archive:
-                return {name: archive[name] for name in archive.files}
-        except (OSError, ValueError):
-            return None  # truncated/corrupt entry: treat as a miss
+                arrays = {name: archive[name] for name in archive.files}
+        except _LOAD_ERRORS:
+            self._quarantine(data_path, meta_path)
+            return None
+        expected = self._expected_digest(meta_path)
+        if expected is not None and array_digest(arrays) != expected:
+            self._quarantine(data_path, meta_path)
+            return None
+        return arrays
 
     def put(self, key_parts: Mapping[str, object],
             arrays: Mapping[str, np.ndarray]) -> None:
-        """Store ``arrays`` under the key (atomic via rename).
+        """Store ``arrays`` under the key (payload *and* sidecar atomic).
 
         Filesystem failures (unwritable root, disk full, ...) are
         swallowed: the cache is an optimisation, and a failed write
@@ -109,29 +229,50 @@ class ResultCache:
         """
         if not self.enabled:
             return
+        assert self.root is not None
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             data_path, meta_path = self._paths(key_parts)
-            tmp_path = data_path.with_suffix(f".tmp{os.getpid()}")
+            tmp_path = data_path.with_name(f"{data_path.name}.tmp{os.getpid()}")
             try:
                 with open(tmp_path, "wb") as handle:
                     np.savez_compressed(handle, **dict(arrays))
                 os.replace(tmp_path, data_path)
             finally:
-                if tmp_path.exists():
-                    tmp_path.unlink()
-            meta_path.write_text(
-                json.dumps(_canonical(key_parts), sort_keys=True, indent=1))
+                _unlink_quietly(tmp_path)
+            meta = dict(_canonical(key_parts))
+            meta["sha256"] = array_digest(arrays)
+            atomic_write_text(meta_path,
+                              json.dumps(meta, sort_keys=True, indent=1))
         except OSError:
             return
 
-    def clear(self) -> int:
-        """Delete every cache entry; returns the number of files removed."""
+    def clear(self) -> ClearResult:
+        """Delete every entry; quarantined entries counted separately.
+
+        Skips subdirectories and foreign files, and tolerates entries
+        deleted concurrently by another process.
+        """
         if not self.enabled or not self.root.exists():
-            return 0
-        removed = 0
-        for path in self.root.iterdir():
-            if path.suffix in (".npz", ".json"):
-                path.unlink()
-                removed += 1
-        return removed
+            return ClearResult(0, 0)
+        removed = _clear_entries(self.root)
+        quarantined = _clear_entries(self.root / QUARANTINE_DIRNAME)
+        return ClearResult(removed, quarantined)
+
+
+def _clear_entries(directory: Path) -> int:
+    """Unlink the ``.npz``/``.json`` files of ``directory``; count them."""
+    try:
+        entries = sorted(directory.iterdir())
+    except OSError:  # missing or unreadable directory
+        return 0
+    removed = 0
+    for path in entries:
+        if path.suffix not in (".npz", ".json") or not path.is_file():
+            continue
+        try:
+            path.unlink()
+        except FileNotFoundError:  # lost a race with a concurrent clear
+            continue
+        removed += 1
+    return removed

@@ -1,0 +1,183 @@
+"""Per-chunk checkpointing for interrupted Monte-Carlo sweeps.
+
+A production-size sweep should survive its process dying at 90 %.  The
+supervised executor (:mod:`repro.experiments.runner`) persists every
+completed chunk into a **run directory** keyed by
+``(engine, config, seed, chunking, code version)``; an interrupted
+sweep resumed with the same key reloads the finished chunks and
+recomputes only the missing ones.  Because chunk results are pure
+functions of ``(config, chunk seed, chunk size)``, a resumed run is
+bit-identical to an uninterrupted one — resume-vs-fresh never changes
+results.
+
+Layout under the checkpoint root (``REPRO_CHECKPOINT_DIR`` or an
+explicit argument)::
+
+    <root>/<run-hash>/manifest.json      # canonical run key + chunk count
+    <root>/<run-hash>/chunk_000007.npz   # arrays of chunk 7
+    <root>/<run-hash>/chunk_000007.json  # sidecar: index + content digest
+    <root>/<run-hash>/corrupt/           # quarantined entries (never deleted)
+
+Every write is tmp-file + ``os.replace`` atomic; every read verifies
+the sidecar's SHA-256 content digest (:func:`repro.util.cache.array_digest`)
+and quarantines mismatches into ``corrupt/`` exactly like the result
+cache does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.util.cache import (
+    _canonical,
+    array_digest,
+    atomic_write_text,
+    quarantine_paths,
+    stable_hash,
+)
+
+#: Environment variable naming the checkpoint root (enables resume).
+CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_FORMAT = 1
+
+_LOAD_ERRORS = (OSError, ValueError, EOFError, zipfile.BadZipFile, KeyError)
+
+
+def checkpoint_dir_from_env() -> Optional[Path]:
+    """The configured checkpoint root, or ``None`` when unset."""
+    configured = os.environ.get(CHECKPOINT_DIR_ENV, "").strip()
+    return Path(configured) if configured else None
+
+
+class CheckpointStore:
+    """One sweep's chunk checkpoints under ``root/<run-hash>/``.
+
+    ``run_key`` is the same mapping the result cache hashes, so a run
+    is resumable exactly when it is cacheable (integer or
+    ``SeedSequence`` seeds; never OS entropy).  All filesystem errors
+    on ``put`` are swallowed — checkpointing is an optimisation and
+    must never take the computation down with it.
+    """
+
+    def __init__(self, root: os.PathLike,
+                 run_key: Mapping[str, object], n_chunks: int) -> None:
+        if n_chunks < 1:
+            raise ValueError("a run has at least one chunk")
+        self.root = Path(root)
+        self.run_key = run_key
+        self.n_chunks = n_chunks
+        self.run_dir = self.root / stable_hash(run_key)
+        #: Chunks this instance moved to ``corrupt/``.
+        self.quarantined = 0
+        self._write_manifest()
+
+    # -- layout -----------------------------------------------------------
+
+    def _chunk_paths(self, chunk_index: int) -> Tuple[Path, Path]:
+        stem = f"chunk_{chunk_index:06d}"
+        return (self.run_dir / f"{stem}.npz", self.run_dir / f"{stem}.json")
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / "manifest.json"
+
+    def _write_manifest(self) -> None:
+        try:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            if not self.manifest_path.exists():
+                manifest = {"format": MANIFEST_FORMAT,
+                            "n_chunks": self.n_chunks,
+                            "key": _canonical(self.run_key)}
+                atomic_write_text(
+                    self.manifest_path,
+                    json.dumps(manifest, sort_keys=True, indent=1))
+        except OSError:
+            pass
+
+    # -- chunk persistence ------------------------------------------------
+
+    def put_chunk(self, chunk_index: int,
+                  arrays: Mapping[str, np.ndarray]) -> None:
+        """Persist one completed chunk atomically (payload + sidecar)."""
+        self._check_index(chunk_index)
+        data_path, meta_path = self._chunk_paths(chunk_index)
+        try:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            tmp_path = data_path.with_name(
+                f"{data_path.name}.tmp{os.getpid()}")
+            try:
+                with open(tmp_path, "wb") as handle:
+                    np.savez_compressed(handle, **dict(arrays))
+                os.replace(tmp_path, data_path)
+            finally:
+                try:
+                    tmp_path.unlink()
+                except OSError:
+                    pass
+            sidecar = {"chunk_index": chunk_index,
+                       "sha256": array_digest(arrays)}
+            atomic_write_text(meta_path,
+                              json.dumps(sidecar, sort_keys=True, indent=1))
+        except OSError:
+            return
+
+    def get_chunk(self, chunk_index: int
+                  ) -> Optional[Dict[str, np.ndarray]]:
+        """Reload one chunk, or ``None`` when absent or quarantined.
+
+        A chunk whose payload fails to load, whose sidecar is missing
+        or unreadable, or whose content digest mismatches is moved to
+        ``corrupt/`` and reported missing, so the supervisor recomputes
+        it instead of poisoning the merged sweep.
+        """
+        self._check_index(chunk_index)
+        data_path, meta_path = self._chunk_paths(chunk_index)
+        if not data_path.exists():
+            return None
+        expected = self._sidecar_digest(meta_path)
+        try:
+            with np.load(data_path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except _LOAD_ERRORS:
+            self._quarantine(data_path, meta_path)
+            return None
+        if expected is None or array_digest(arrays) != expected:
+            self._quarantine(data_path, meta_path)
+            return None
+        return arrays
+
+    def completed_chunks(self) -> List[int]:
+        """Indices whose payload file exists (unverified fast path)."""
+        present = []
+        for index in range(self.n_chunks):
+            data_path, _ = self._chunk_paths(index)
+            if data_path.exists():
+                present.append(index)
+        return present
+
+    # -- helpers ----------------------------------------------------------
+
+    def _check_index(self, chunk_index: int) -> None:
+        if not 0 <= chunk_index < self.n_chunks:
+            raise IndexError(
+                f"chunk {chunk_index} outside run of {self.n_chunks} chunks")
+
+    def _sidecar_digest(self, meta_path: Path) -> Optional[str]:
+        try:
+            sidecar = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        digest = sidecar.get("sha256") if isinstance(sidecar, dict) else None
+        return digest if isinstance(digest, str) else None
+
+    def _quarantine(self, *paths: Path) -> None:
+        if quarantine_paths(self.run_dir, *paths):
+            self.quarantined += 1

@@ -13,6 +13,8 @@ change results: ``n_workers=1`` and ``n_workers=4`` must be
 bit-identical.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -27,7 +29,7 @@ from repro.experiments.montecarlo import (
     two_receiver_technique_gains,
     two_receiver_technique_gains_scalar,
 )
-from repro.util.cache import ResultCache
+from repro.util.cache import ResultCache, array_digest
 
 RTOL = 1e-9
 
@@ -141,16 +143,39 @@ class TestResultCacheIntegration:
         first, fr_first = two_receiver_scenarios(config, seed=7, cache=cache)
         stored = list(tmp_path.glob("*.npz"))
         assert len(stored) == 1
-        # Poison the only entry's gains; a cache hit must surface it.
+        # Poison the only entry's gains *and* refresh the sidecar digest
+        # (a digest-consistent tamper); a cache hit must surface it.
         with np.load(stored[0]) as archive:
             poisoned = {name: archive[name].copy()
                         for name in archive.files}
         poisoned["gains"][:] = 123.0
         np.savez_compressed(stored[0], **poisoned)
+        (meta_path,) = tmp_path.glob("*.json")
+        meta = json.loads(meta_path.read_text())
+        meta["sha256"] = array_digest(poisoned)
+        meta_path.write_text(json.dumps(meta))
         second, fr_second = two_receiver_scenarios(config, seed=7,
                                                    cache=cache)
         assert np.all(second == 123.0)
         assert fr_second == fr_first
+
+    def test_tampered_entry_is_quarantined_and_recomputed(self, config,
+                                                          tmp_path):
+        """A payload whose digest mismatches the sidecar is never served."""
+        cache = ResultCache(tmp_path)
+        first, fr_first = two_receiver_scenarios(config, seed=7, cache=cache)
+        (entry,) = tmp_path.glob("*.npz")
+        with np.load(entry) as archive:
+            poisoned = {name: archive[name].copy()
+                        for name in archive.files}
+        poisoned["gains"][:] = 123.0
+        np.savez_compressed(entry, **poisoned)  # sidecar digest left stale
+        second, fr_second = two_receiver_scenarios(config, seed=7,
+                                                   cache=cache)
+        assert np.array_equal(second, first)
+        assert fr_second == fr_first
+        assert cache.quarantined == 1
+        assert list((tmp_path / "corrupt").glob("*.npz"))
 
     def test_different_seeds_get_different_entries(self, config, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,23 @@
+"""Retry-path hygiene fixture (RPR303): bare sleeps in backoff loops."""
+
+import time
+from time import sleep as pause
+
+
+def fetch_with_retries(fetch, attempts=3):
+    for attempt in range(attempts):
+        try:
+            return fetch()
+        except OSError:
+            time.sleep(2.0 ** attempt)  # expect: RPR303
+    return None
+
+
+def backoff_bare(delay_s):
+    pause(delay_s)  # expect: RPR303
+
+
+def backoff_injected(delay_s, sleep):
+    # Fine: the wait goes through an injected callable, so tests can
+    # record the delay instead of serving it.
+    sleep(delay_s)

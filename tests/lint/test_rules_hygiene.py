@@ -16,6 +16,35 @@ class TestHygieneFixture:
         assert codes == {"RPR301", "RPR302"}
 
 
+class TestSleepFixture:
+    def test_exact_codes_and_lines(self):
+        path = FIXTURES / "util" / "bad_sleep.py"
+        assert lint_found(path) == expected_markers(path)
+
+    def test_markers_cover_the_code(self):
+        codes = {
+            code
+            for code, _ in expected_markers(FIXTURES / "util" / "bad_sleep.py")
+        }
+        assert codes == {"RPR303"}
+
+    def test_injected_sleep_hook_not_flagged(self):
+        # The fixture's backoff_injected() waits through an injected
+        # callable; no violation may land on those lines.
+        path = FIXTURES / "util" / "bad_sleep.py"
+        hook_lines = {
+            lineno
+            for lineno, text in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            )
+            if "sleep(delay_s)" in text and "pause" not in text
+        }
+        assert hook_lines
+        assert not {
+            line for _, line in lint_found(path) if line in hook_lines
+        }
+
+
 class TestScopeOfRule:
     def test_wall_clock_fine_outside_result_pipelines(self, tmp_path):
         target = tmp_path / "tool.py"
@@ -23,6 +52,15 @@ class TestScopeOfRule:
             "import time\n"
             "def stamp():\n"
             "    return time.time()\n"
+        )
+        assert lint_found(target) == set()
+
+    def test_bare_sleep_fine_outside_retry_packages(self, tmp_path):
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "import time\n"
+            "def nap():\n"
+            "    time.sleep(1.0)\n"
         )
         assert lint_found(target) == set()
 

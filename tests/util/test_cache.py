@@ -1,12 +1,26 @@
 """ResultCache behaviour: keys, roundtrips, inert mode, corruption."""
 
+import json
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 import pytest
 
-from repro.util.cache import CACHE_DIR_ENV, ResultCache, stable_hash
+from repro.util.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    array_digest,
+    stable_hash,
+)
 
 
 KEY = {"engine": "test", "seed": 7, "config": {"n": 100}}
+
+
+def _concurrent_put(root):
+    """Worker for the concurrent-put race test (module-level: picklable)."""
+    ResultCache(root).put(KEY, {"x": np.arange(64.0)})
+    return True
 
 
 class TestStableHash:
@@ -65,19 +79,117 @@ class TestResultCache:
         cache.put(KEY, {"x": np.ones(2)})  # must be a silent no-op
         assert cache.get(KEY) is None
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(KEY, {"x": np.ones(4)})
         (entry,) = tmp_path.glob("*.npz")
         entry.write_bytes(b"not a zipfile")
         assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+        # Quarantined, not deleted: both files moved under corrupt/.
+        assert not entry.exists()
+        assert (tmp_path / "corrupt" / entry.name).exists()
+        assert list((tmp_path / "corrupt").glob("*.json"))
+
+    def test_digest_mismatch_is_a_miss_and_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": np.ones(4)})
+        (entry,) = tmp_path.glob("*.npz")
+        np.savez_compressed(entry, x=np.zeros(4))  # loadable, wrong contents
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+
+    def test_sidecar_digest_matches_contents(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        arrays = {"x": np.linspace(0, 1, 9)}
+        cache.put(KEY, arrays)
+        (meta,) = tmp_path.glob("*.json")
+        assert json.loads(meta.read_text())["sha256"] == array_digest(arrays)
+
+    def test_legacy_entry_without_digest_still_served(self, tmp_path):
+        """Pre-integrity sidecars (no sha256) load unverified, no flag-day."""
+        cache = ResultCache(tmp_path)
+        arrays = {"x": np.ones(4)}
+        cache.put(KEY, arrays)
+        (meta,) = tmp_path.glob("*.json")
+        legacy = json.loads(meta.read_text())
+        del legacy["sha256"]
+        meta.write_text(json.dumps(legacy))
+        assert np.array_equal(cache.get(KEY)["x"], arrays["x"])
+
+    def test_put_swallows_unwritable_root(self, tmp_path):
+        blocker = tmp_path / "not_a_dir"
+        blocker.write_text("file in the way")
+        cache = ResultCache(blocker / "sub")
+        cache.put(KEY, {"x": np.ones(2)})  # must not raise
+        assert cache.get(KEY) is None
+
+    def test_no_tmp_litter_after_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": np.ones(4)})
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_concurrent_puts_of_same_key_are_safe(self, tmp_path):
+        """Racing writers may cost a hit, but never a crash or bad data."""
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_concurrent_put, tmp_path)
+                       for _ in range(2)]
+            assert all(f.result() for f in futures)
+        loaded = ResultCache(tmp_path).get(KEY)
+        if loaded is not None:  # a digest race surfaces as a miss, not lies
+            assert np.array_equal(loaded["x"], np.arange(64.0))
+        # The cache self-heals: a fresh put/get roundtrip works.
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": np.arange(64.0)})
+        assert np.array_equal(cache.get(KEY)["x"], np.arange(64.0))
 
     def test_clear_removes_entries(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put({"seed": 1}, {"x": np.ones(2)})
         cache.put({"seed": 2}, {"x": np.ones(2)})
-        assert cache.clear() == 4  # two .npz + two .json
+        result = cache.clear()
+        assert result.removed == 4  # two .npz + two .json
+        assert result.quarantined == 0
         assert cache.get({"seed": 1}) is None
+
+    def test_clear_skips_subdirectories_and_foreign_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put({"seed": 1}, {"x": np.ones(2)})
+        (tmp_path / "subdir").mkdir()
+        (tmp_path / "notes.txt").write_text("keep me")
+        result = cache.clear()  # must not crash on the directory
+        assert result.removed == 2
+        assert (tmp_path / "subdir").is_dir()
+        assert (tmp_path / "notes.txt").exists()
+
+    def test_clear_reports_quarantined_separately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put({"seed": 1}, {"x": np.ones(2)})
+        cache.put({"seed": 2}, {"x": np.ones(2)})
+        entry = next(tmp_path.glob("*.npz"))
+        entry.write_bytes(b"junk")
+        for seed in (1, 2):
+            cache.get({"seed": seed})  # one of these quarantines
+        result = cache.clear()
+        assert result.removed == 2
+        assert result.quarantined == 2  # .npz + .json of the bad entry
+
+    def test_clear_tolerates_concurrent_deletion(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        cache = ResultCache(tmp_path)
+        cache.put({"seed": 1}, {"x": np.ones(2)})
+        real_unlink = Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            real_unlink(self, *args, **kwargs)  # the "other process" wins
+            raise FileNotFoundError(str(self))
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        result = cache.clear()  # every unlink loses the race; no crash
+        assert result.removed == 0
+        monkeypatch.undo()
+        assert list(tmp_path.glob("*.npz")) == []
 
     def test_from_env_disabled_by_default(self, monkeypatch):
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)

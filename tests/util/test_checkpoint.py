@@ -1,0 +1,118 @@
+"""CheckpointStore: atomic chunk persistence, integrity, quarantine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.util.cache import array_digest
+from repro.util.checkpoint import (
+    CHECKPOINT_DIR_ENV,
+    CheckpointStore,
+    checkpoint_dir_from_env,
+)
+
+RUN_KEY = {"engine": "test", "seed": 7, "chunk_sizes": [50, 50, 25]}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path, RUN_KEY, n_chunks=3)
+
+
+class TestEnvResolution:
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv(CHECKPOINT_DIR_ENV, raising=False)
+        assert checkpoint_dir_from_env() is None
+
+    def test_set_names_the_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CHECKPOINT_DIR_ENV, str(tmp_path))
+        assert checkpoint_dir_from_env() == tmp_path
+
+
+class TestManifest:
+    def test_written_on_construction(self, store):
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["n_chunks"] == 3
+        assert manifest["key"]["engine"] == "test"
+
+    def test_run_dir_keyed_by_run_key(self, tmp_path):
+        a = CheckpointStore(tmp_path, RUN_KEY, n_chunks=3)
+        b = CheckpointStore(tmp_path, {**RUN_KEY, "seed": 8}, n_chunks=3)
+        assert a.run_dir != b.run_dir
+
+
+class TestChunkRoundtrip:
+    def test_put_get_bit_identical(self, store):
+        arrays = {"gains": np.linspace(0.0, 1.0, 50),
+                  "codes": np.arange(50, dtype=np.uint8)}
+        store.put_chunk(1, arrays)
+        loaded = store.get_chunk(1)
+        assert set(loaded) == set(arrays)
+        for name in arrays:
+            assert np.array_equal(loaded[name], arrays[name])
+            assert loaded[name].dtype == arrays[name].dtype
+
+    def test_missing_chunk_is_none(self, store):
+        assert store.get_chunk(0) is None
+
+    def test_no_tmp_litter_after_put(self, store):
+        store.put_chunk(0, {"x": np.ones(4)})
+        assert not list(store.run_dir.glob("*.tmp*"))
+
+    def test_completed_chunks_ordering(self, store):
+        store.put_chunk(2, {"x": np.ones(2)})
+        store.put_chunk(0, {"x": np.ones(2)})
+        assert store.completed_chunks() == [0, 2]
+
+    def test_index_bounds_checked(self, store):
+        with pytest.raises(IndexError):
+            store.put_chunk(3, {"x": np.ones(1)})
+        with pytest.raises(IndexError):
+            store.get_chunk(-1)
+
+    def test_resume_across_store_instances(self, tmp_path):
+        first = CheckpointStore(tmp_path, RUN_KEY, n_chunks=3)
+        first.put_chunk(0, {"x": np.full(5, 2.5)})
+        second = CheckpointStore(tmp_path, RUN_KEY, n_chunks=3)
+        assert np.array_equal(second.get_chunk(0)["x"], np.full(5, 2.5))
+
+
+class TestIntegrity:
+    def test_truncated_payload_quarantined(self, store):
+        store.put_chunk(0, {"x": np.ones(8)})
+        data_path, _ = store._chunk_paths(0)
+        data_path.write_bytes(data_path.read_bytes()[:10])
+        assert store.get_chunk(0) is None
+        assert store.quarantined == 1
+        assert (store.run_dir / "corrupt" / data_path.name).exists()
+        assert store.get_chunk(0) is None  # stays missing, no crash
+
+    def test_digest_mismatch_quarantined(self, store):
+        store.put_chunk(0, {"x": np.ones(8)})
+        data_path, _ = store._chunk_paths(0)
+        np.savez_compressed(data_path, x=np.zeros(8))  # loadable, wrong bits
+        assert store.get_chunk(0) is None
+        assert store.quarantined == 1
+
+    def test_missing_sidecar_treated_as_corrupt(self, store):
+        store.put_chunk(0, {"x": np.ones(8)})
+        _, meta_path = store._chunk_paths(0)
+        meta_path.unlink()
+        assert store.get_chunk(0) is None
+        assert store.quarantined == 1
+
+    def test_sidecar_records_content_digest(self, store):
+        arrays = {"x": np.arange(6.0)}
+        store.put_chunk(0, arrays)
+        _, meta_path = store._chunk_paths(0)
+        sidecar = json.loads(meta_path.read_text())
+        assert sidecar["sha256"] == array_digest(arrays)
+        assert sidecar["chunk_index"] == 0
+
+    def test_put_swallows_unwritable_root(self, tmp_path):
+        blocker = tmp_path / "not_a_dir"
+        blocker.write_text("file in the way")
+        store = CheckpointStore(blocker / "sub", RUN_KEY, n_chunks=1)
+        store.put_chunk(0, {"x": np.ones(2)})  # must not raise
+        assert store.get_chunk(0) is None
