@@ -26,6 +26,7 @@ from repro.scheduling.baselines import (
 from repro.scheduling.scheduler import SicScheduler, UploadClient
 from repro.techniques.pairing import TechniqueSet
 from repro.util.rng import SeedLike, make_rng
+from repro.util.timing import PhaseTimer
 from repro.util.units import db_to_linear
 
 DEFAULT_BANDWIDTH_HZ = 20e6
@@ -90,18 +91,32 @@ def compare_policies(n_clients: int, n_trials: int = 50,
 
 
 def runtime_scaling(sizes: Sequence[int] = (4, 8, 16, 32, 64),
-                    seed: SeedLike = 2010) -> Dict[int, float]:
-    """Wall-clock seconds to schedule one instance of each size."""
+                    seed: SeedLike = 2010
+                    ) -> Dict[int, Dict[str, float]]:
+    """Wall-clock seconds to schedule one instance of each size.
+
+    Each entry holds the total plus the per-phase attribution from a
+    :class:`~repro.util.timing.PhaseTimer` threaded through
+    :meth:`~repro.scheduling.scheduler.SicScheduler.schedule` —
+    ``cost_build`` (vectorised t_ij matrix), ``matching`` (blossom) and
+    ``assembly`` (re-costing the chosen slots), so runtime regressions
+    point at the phase that caused them.
+    """
     rng = make_rng(seed)
     channel = Channel(bandwidth_hz=DEFAULT_BANDWIDTH_HZ,
                       noise_w=thermal_noise_watts(DEFAULT_BANDWIDTH_HZ))
     scheduler = SicScheduler(channel=channel, techniques=TechniqueSet.ALL)
-    out: Dict[int, float] = {}
+    out: Dict[int, Dict[str, float]] = {}
     for n in sizes:
         clients = random_clients(n, rng, noise_w=channel.noise_w)
+        timer = PhaseTimer()
         start = time.perf_counter()
-        scheduler.schedule(clients)
-        out[n] = time.perf_counter() - start
+        scheduler.schedule(clients, timer=timer)
+        total = time.perf_counter() - start
+        entry = {"total_s": total}
+        for phase, seconds in timer.phases.items():
+            entry[f"{phase}_s"] = seconds
+        out[n] = entry
     return out
 
 

@@ -88,7 +88,12 @@ def _render_fig12(result) -> List[str]:
                           for name, gain in comparison.mean_gains.items())
         lines.append(f"n={comparison.n_clients:>3}: mean gains {parts}")
     lines.append("runtime (one instance): " + ", ".join(
-        f"n={n}: {t * 1e3:.1f}ms" for n, t in result["runtime"].items()))
+        f"n={n}: {entry['total_s'] * 1e3:.1f}ms"
+        for n, entry in result["runtime"].items()))
+    for n, entry in result["runtime"].items():
+        phases = ", ".join(f"{k[:-2]} {v * 1e3:.1f}ms"
+                           for k, v in entry.items() if k != "total_s")
+        lines.append(f"  n={n:>3} phases: {phases}")
     return lines
 
 

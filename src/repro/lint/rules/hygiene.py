@@ -9,6 +9,11 @@ backoff paths (``experiments``/``sim``/``util``) must route waiting
 through the injectable :class:`repro.util.faults.RetryPolicy` sleep
 hook — a bare ``time.sleep`` makes recovery untestable and couples the
 supervisor to the wall clock.
+
+RPR304 is performance hygiene rather than determinism: a head pop on a
+Python list shifts every remaining element, so ``pop(0)`` inside a loop
+is accidentally quadratic — exactly the drain-the-queue shape the online
+scheduler runs per batch.  ``collections.deque.popleft`` is O(1).
 """
 
 from __future__ import annotations
@@ -137,3 +142,45 @@ class BareSleepRule(Rule):
                 yield ctx.make_violation(node, self.code, self.summary)
             elif isinstance(func, ast.Name) and func.id in bindings:
                 yield ctx.make_violation(node, self.code, self.summary)
+
+
+@register
+class HeadPopInLoopRule(Rule):
+    """RPR304 — ``.pop(0)`` inside a loop body.
+
+    ``list.pop(0)`` shifts every remaining element, so draining a queue
+    with it is O(n^2).  The rule fires on any ``<expr>.pop(0)`` call
+    lexically inside a ``for``/``while`` body, anywhere in the tree —
+    it cannot see types, but a head pop in a loop is the quadratic
+    drain shape regardless of container, and genuinely-needed cases
+    (e.g. a list that also takes arbitrary-index pops) can carry a
+    suppression pragma.  Tail pops (``pop()`` / ``pop(-1)``) and
+    ``deque.popleft()`` are O(1) and not flagged.
+    """
+
+    code = "RPR304"
+    summary = (
+        "pop(0) inside a loop is O(n) per call (quadratic drain); "
+        "use collections.deque and popleft() for O(1) head pops"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        seen: Set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if id(node) in seen:
+                    continue  # nested loops walk inner calls twice
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "pop"
+                    and len(node.args) == 1
+                    and not node.keywords
+                    and isinstance(node.args[0], ast.Constant)
+                    and type(node.args[0].value) is int
+                    and node.args[0].value == 0
+                ):
+                    seen.add(id(node))
+                    yield ctx.make_violation(node, self.code, self.summary)

@@ -111,7 +111,9 @@ def greedy_group_schedule(channel: Channel,
     remaining = sorted(clients, key=lambda c: -c.rss_w)
     slots: List[GroupSlot] = []
     while remaining:
-        group = [remaining.pop(0)]
+        # A list (not a deque) because admission below pops arbitrary
+        # indices; the head pop runs once per *group*, not per element.
+        group = [remaining.pop(0)]  # repro-lint: disable=RPR304
         time, used_sic = group_airtime(
             channel, packet_bits, [c.rss_w for c in group],
             cancellation_efficiency)

@@ -20,11 +20,34 @@ end of edge k as seen from vertex v" is a single integer.  Dual
 variables live on vertices (``u_v``) and blossoms (``z_b``); a matching
 is optimal when every edge has non-negative slack
 ``u_i + u_j + (blossom terms) - 2*w_ij`` and every matched edge has
-zero slack — the certificate checked by ``verify_optimum`` in the test
-suite.
+zero slack.
 
-Weights must be integers for exactness (duals then stay multiples of
-1/2 and all comparisons are exact).  ``min_weight_perfect_matching``
+Fast path (this is the throughput-critical kernel of the scheduler):
+
+* dual variables are kept in **doubled units** (``2*u_v``), which makes
+  every quantity in the algorithm — slacks, the four dual-adjustment
+  deltas, blossom duals — an exact integer whenever the edge weights
+  are integral (the true duals are multiples of 1/2, and the doubled
+  S-to-S slack that delta type 3 halves is provably even).  For float
+  weights, scaling by two is exact in IEEE arithmetic, so the doubled
+  run makes *bit-identical decisions* to the historical un-doubled one;
+* slack look-ups in the tree-growth loops are inlined list reads
+  (``dualvar[i] + dualvar[j] - weight4[k]``) instead of the historical
+  per-edge ``slack()`` function calls — millions of calls per solve on
+  large backlogs;
+* the per-stage dual adjustment (delta types 1–4) is a handful of
+  masked NumPy reductions over vertex/blossom/edge arrays instead of
+  Python scans over ``range(2 * nvertex)``, and the dual updates apply
+  as vectorised adds;
+* the dense internal ``assert``s are gated behind ``debug=True``.
+
+The pre-fast-path implementation is frozen verbatim in
+:mod:`repro.scheduling.matching_scalar`; golden tests pin this module
+to return the *exact same matchings* (same ``mate`` arrays, not merely
+equal weight), and the speedup is tracked by
+``benchmarks/test_bench_scheduler.py``.
+
+Weights must be integers for exactness.  ``min_weight_perfect_matching``
 therefore quantises float costs onto a fine integer grid before
 solving; with a grid of ``max_cost / 1e12`` the rounding is far below
 any physically meaningful airtime difference.
@@ -34,18 +57,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 Edge = Tuple[int, int, float]
+
+#: Integral weights above this magnitude would risk ``int64`` overflow
+#: in the vectorised doubled-dual arithmetic; such graphs take the
+#: float64 path.
+_INT64_SAFE_WEIGHT = 2 ** 60
 
 
 def max_weight_matching(edges: Sequence[Edge],
-                        maxcardinality: bool = False) -> List[int]:
+                        maxcardinality: bool = False,
+                        debug: bool = False) -> List[int]:
     """Compute a maximum-weight matching on a general graph.
 
     ``edges`` is a list of ``(i, j, weight)`` with ``i != j``; at most
     one edge per vertex pair.  Returns ``mate`` with ``mate[v]`` the
     partner of ``v`` or ``-1`` if ``v`` is single.  With
     ``maxcardinality=True`` the matching has maximum cardinality first,
-    maximum weight among those second.
+    maximum weight among those second.  ``debug=True`` re-enables the
+    dense internal invariant assertions (slow; for tests).
     """
     if not edges:
         return []
@@ -59,6 +91,29 @@ def max_weight_matching(edges: Sequence[Edge],
 
     maxweight = max(0, max(w for (_, _, w) in edges))
 
+    # Doubled-unit duals: int64 when the weights allow exact integer
+    # arithmetic in the vectorised steps, float64 otherwise (see module
+    # docstring).
+    integral = all(
+        isinstance(w, (int, np.integer))
+        or (isinstance(w, float) and w.is_integer())
+        for (_, _, w) in edges
+    ) and max(abs(w) for (_, _, w) in edges) < _INT64_SAFE_WEIGHT
+    dtype = np.int64 if integral else np.float64
+
+    # In doubled dual units the slack of edge k is
+    # dualvar[i] + dualvar[j] - weight4[k]; the scalar loops read the
+    # plain lists, the delta search gathers through the NumPy mirrors.
+    weight4 = [4 * e[2] for e in edges]
+    # Endpoint columns both as plain lists (hot scalar loops — list
+    # indexing beats tuple-of-tuple indexing) and as NumPy arrays (the
+    # vectorised slack gathers).
+    ei_l = [e[0] for e in edges]
+    ej_l = [e[1] for e in edges]
+    edge_i = np.fromiter(ei_l, np.int64, nedge)
+    edge_j = np.fromiter(ej_l, np.int64, nedge)
+    weight4_np = np.fromiter(weight4, dtype, nedge)
+
     # endpoint[p] is the vertex at endpoint p; edge k owns endpoints
     # 2k (its i side) and 2k+1 (its j side).
     endpoint = [edges[p // 2][p % 2] for p in range(2 * nedge)]
@@ -70,72 +125,123 @@ def max_weight_matching(edges: Sequence[Edge],
         neighbend[i].append(2 * k + 1)
         neighbend[j].append(2 * k)
 
+    # Per-vertex gather indices, aligned with neighbend[v]: the edge
+    # ids, the remote vertices (NumPy, for slack gathers), and those
+    # edges' weight4.  One vectorised slack evaluation per S-vertex
+    # scan replaces per-neighbour Python arithmetic.
+    nbr_edges: List[List[int]] = []
+    nbr_vert: List[np.ndarray] = []
+    nbr_w4: List[np.ndarray] = []
+    for v in range(nvertex):
+        ks = [p // 2 for p in neighbend[v]]
+        karr = np.fromiter(ks, np.int64, len(ks))
+        nbr_edges.append(ks)
+        nbr_vert.append(np.fromiter((endpoint[p] for p in neighbend[v]),
+                                    np.int64, len(ks)))
+        nbr_w4.append(weight4_np[karr])
+
+    # Per-vertex (endpoint, edge, remote-vertex) triples: the S-vertex
+    # scan unpacks one precomputed tuple per neighbour instead of
+    # re-deriving the edge id and remote vertex on every visit.
+    nbr_pkw = [[(p, p // 2, endpoint[p]) for p in nb] for nb in neighbend]
+
     # mate[v] is the remote endpoint of v's matched edge, or -1.
     mate = nvertex * [-1]
 
     # label[b]: 0 = free, 1 = S (even), 2 = T (odd); +4 marks a
     # breadcrumb during scan_blossom.  Indexed by top-level blossom for
     # blossoms, and additionally per-vertex for T-side bookkeeping.
+    #
+    # The labelling/blossom structures are Python lists (authoritative,
+    # for the scalar tree-growth loops) with write-through NumPy
+    # mirrors (``*_np``) kept in lockstep so the vectorised dual
+    # adjustment never has to convert a list.  Mirror writes are cheap
+    # because mutations are orders of magnitude rarer than reads.
     label = (2 * nvertex) * [0]
+    lab_np = np.zeros(2 * nvertex, dtype=np.int64)
 
     # labelend[b]: the endpoint through which b acquired its label.
     labelend = (2 * nvertex) * [-1]
 
     # inblossom[v]: the top-level blossom containing vertex v.
     inblossom = list(range(nvertex))
+    inb_np = np.arange(nvertex, dtype=np.int64)
 
     # Blossom structure: parent, ordered children, base vertex, and the
     # connecting endpoints between consecutive children.
     blossomparent = (2 * nvertex) * [-1]
+    bpar_np = np.full(2 * nvertex, -1, dtype=np.int64)
     blossomchilds: List[Optional[List[int]]] = (2 * nvertex) * [None]
     blossombase = list(range(nvertex)) + nvertex * [-1]
+    bbase_np = np.concatenate([np.arange(nvertex, dtype=np.int64),
+                               np.full(nvertex, -1, dtype=np.int64)])
     blossomendps: List[Optional[List[int]]] = (2 * nvertex) * [None]
 
     # bestedge[b]: least-slack edge from b to a different S-blossom.
     bestedge = (2 * nvertex) * [-1]
+    best_np = np.full(2 * nvertex, -1, dtype=np.int64)
     blossombestedges: List[Optional[List[int]]] = (2 * nvertex) * [None]
 
     unusedblossoms = list(range(nvertex, 2 * nvertex))
 
-    # Dual variables: u_v for vertices (init max weight), z_b for
-    # blossoms (init 0).  Working in doubled units would avoid halves;
-    # we follow the convention that vertex duals may become half-integer
-    # only transiently, which is exact for integer weights.
-    dualvar = nvertex * [maxweight] + nvertex * [0]
+    # Dual variables in doubled units: 2*u_v for vertices (init twice
+    # the max weight), 2*z_b for blossoms (init 0).  The Python list is
+    # authoritative for the scalar loops; ``dual_np`` mirrors it for
+    # the vectorised delta search (``dvert_np`` is its vertex half).
+    dualvar = nvertex * [2 * maxweight] + nvertex * [0]
+    dual_np = np.concatenate([np.full(nvertex, 2 * maxweight, dtype=dtype),
+                              np.zeros(nvertex, dtype=dtype)])
+    dvert_np = dual_np[:nvertex]
+    # Blossom halves of the mirrors, as persistent views: the delta
+    # search slices them every adjustment, so slice once here.  (All
+    # mirror mutations are in-place, which keeps these views live.)
+    dblos_np = dual_np[nvertex:]
+    lab_hi_np = lab_np[nvertex:]
+    bpar_hi_np = bpar_np[nvertex:]
+    bbase_hi_np = bbase_np[nvertex:]
 
     # allowedge[k]: edge k has zero slack and may be crossed.
     allowedge = nedge * [False]
 
     queue: List[int] = []
 
-    def slack(k: int) -> float:
-        i, j, wt = edges[k]
-        return dualvar[i] + dualvar[j] - 2 * wt
-
-    def blossom_leaves(b: int):
-        if b < nvertex:
-            yield b
-        else:
-            for child in blossomchilds[b]:
-                if child < nvertex:
-                    yield child
-                else:
-                    yield from blossom_leaves(child)
+    def blossom_leaves(b: int) -> List[int]:
+        # Iterative depth-first walk, preserving the child order of the
+        # recursive formulation (reversed extends make the stack pop
+        # children left to right).  Returns a list — the callers all
+        # consume every leaf, and lists beat generator resumptions.
+        out = []
+        stack = [b]
+        while stack:
+            t = stack.pop()
+            if t < nvertex:
+                out.append(t)
+            else:
+                stack.extend(blossomchilds[t][::-1])
+        return out
 
     def assign_label(w: int, t: int, p: int) -> None:
         """Give vertex w (and its blossom) label t via endpoint p."""
         b = inblossom[w]
-        assert label[w] == 0 and label[b] == 0
+        if debug:
+            assert label[w] == 0 and label[b] == 0
         label[w] = label[b] = t
+        lab_np[w] = lab_np[b] = t
         labelend[w] = labelend[b] = p
         bestedge[w] = bestedge[b] = -1
+        best_np[w] = best_np[b] = -1
         if t == 1:
-            # S-blossom: scan all its vertices.
-            queue.extend(blossom_leaves(b))
+            # S-blossom: scan all its vertices (a bare vertex is its
+            # own single leaf — skip the walk).
+            if b < nvertex:
+                queue.append(b)
+            else:
+                queue.extend(blossom_leaves(b))
         elif t == 2:
             # T-blossom: its base's mate becomes an S-vertex.
             base = blossombase[b]
-            assert mate[base] >= 0
+            if debug:
+                assert mate[base] >= 0
             assign_label(endpoint[mate[base]], 1, mate[base] ^ 1)
 
     def scan_blossom(v: int, w: int) -> int:
@@ -151,22 +257,27 @@ def max_weight_matching(edges: Sequence[Edge],
             if label[b] & 4:
                 base = blossombase[b]
                 break
-            assert label[b] == 1
+            if debug:
+                assert label[b] == 1
             path.append(b)
             label[b] = 5  # breadcrumb: 1 | 4
-            assert labelend[b] == mate[blossombase[b]]
+            lab_np[b] = 5
+            if debug:
+                assert labelend[b] == mate[blossombase[b]]
             if labelend[b] == -1:
                 v = -1  # reached a free root
             else:
                 v = endpoint[labelend[b]]
                 b = inblossom[v]
-                assert label[b] == 2
-                assert labelend[b] >= 0
+                if debug:
+                    assert label[b] == 2
+                    assert labelend[b] >= 0
                 v = endpoint[labelend[b]]
             if w != -1:
                 v, w = w, v
         for b in path:
             label[b] = 1
+            lab_np[b] = 1
         return base
 
     def add_blossom(base: int, k: int) -> None:
@@ -177,19 +288,24 @@ def max_weight_matching(edges: Sequence[Edge],
         bw = inblossom[w]
         b = unusedblossoms.pop()
         blossombase[b] = base
+        bbase_np[b] = base
         blossomparent[b] = -1
+        bpar_np[b] = -1
         blossomparent[bb] = b
+        bpar_np[bb] = b
         # Walk from v back to the base, collecting the path.
         path: List[int] = []
         endps: List[int] = []
         while bv != bb:
             blossomparent[bv] = b
+            bpar_np[bv] = b
             path.append(bv)
             endps.append(labelend[bv])
-            assert (label[bv] == 2
-                    or (label[bv] == 1
-                        and labelend[bv] == mate[blossombase[bv]]))
-            assert labelend[bv] >= 0
+            if debug:
+                assert (label[bv] == 2
+                        or (label[bv] == 1
+                            and labelend[bv] == mate[blossombase[bv]]))
+                assert labelend[bv] >= 0
             v = endpoint[labelend[bv]]
             bv = inblossom[v]
         path.append(bb)
@@ -199,67 +315,104 @@ def max_weight_matching(edges: Sequence[Edge],
         # Walk from w back to the base, extending forwards.
         while bw != bb:
             blossomparent[bw] = b
+            bpar_np[bw] = b
             path.append(bw)
             endps.append(labelend[bw] ^ 1)
-            assert (label[bw] == 2
-                    or (label[bw] == 1
-                        and labelend[bw] == mate[blossombase[bw]]))
-            assert labelend[bw] >= 0
+            if debug:
+                assert (label[bw] == 2
+                        or (label[bw] == 1
+                            and labelend[bw] == mate[blossombase[bw]]))
+                assert labelend[bw] >= 0
             w = endpoint[labelend[bw]]
             bw = inblossom[w]
-        assert label[bb] == 1
+        if debug:
+            assert label[bb] == 1
         blossomchilds[b] = path
         blossomendps[b] = endps
         label[b] = 1
+        lab_np[b] = 1
         labelend[b] = labelend[bb]
         dualvar[b] = 0
-        for leaf in blossom_leaves(b):
+        dual_np[b] = 0
+        leaves = blossom_leaves(b)
+        for leaf in leaves:
             if label[inblossom[leaf]] == 2:
                 # Former T-vertices become S-vertices; scan them.
                 queue.append(leaf)
             inblossom[leaf] = b
-        # Merge the children's best-edge caches.
+        inb_np[leaves] = b
+        # Merge the children's best-edge caches.  Candidate slacks are
+        # evaluated in vectorised chunks (per leaf via the neighbour
+        # gather arrays, or per cached best-edge list); the duals are
+        # constant throughout, so the values all stay coherent.
         bestedgeto = (2 * nvertex) * [-1]
+        bestslackto = (2 * nvertex) * [0]
+        touched: List[int] = []
         for bv in path:
             if blossombestedges[bv] is None:
-                nblists = [[p // 2 for p in neighbend[leaf]]
-                           for leaf in blossom_leaves(bv)]
+                chunks = [
+                    (nbr_edges[leaf],
+                     (dualvar[leaf] + dvert_np[nbr_vert[leaf]]
+                      - nbr_w4[leaf]).tolist())
+                    for leaf in blossom_leaves(bv)
+                ]
             else:
-                nblists = [blossombestedges[bv]]
-            for nblist in nblists:
-                for edge_k in nblist:
-                    i, j, _ = edges[edge_k]
+                ks = blossombestedges[bv]
+                karr = np.fromiter(ks, np.int64, len(ks))
+                chunks = [(ks, (dvert_np[edge_i[karr]]
+                                + dvert_np[edge_j[karr]]
+                                - weight4_np[karr]).tolist())]
+            for klist, slist in chunks:
+                for ek, ksl in zip(klist, slist):
+                    j = ej_l[ek]
                     if inblossom[j] == b:
-                        i, j = j, i
+                        j = ei_l[ek]
                     bj = inblossom[j]
-                    if (bj != b and label[bj] == 1
-                            and (bestedgeto[bj] == -1
-                                 or slack(edge_k) < slack(bestedgeto[bj]))):
-                        bestedgeto[bj] = edge_k
+                    if bj != b and label[bj] == 1:
+                        if bestedgeto[bj] == -1:
+                            touched.append(bj)
+                        elif ksl >= bestslackto[bj]:
+                            continue
+                        bestedgeto[bj] = ek
+                        bestslackto[bj] = ksl
             blossombestedges[bv] = None
             bestedge[bv] = -1
-        blossombestedges[b] = [e for e in bestedgeto if e != -1]
+            best_np[bv] = -1
+        # Final selection over the blossoms actually reached; sorting
+        # the touched list restores the historical ascending-``bj``
+        # iteration order (first minimum wins ties) without scanning
+        # all 2n slots.
+        touched.sort()
+        blossombestedges[b] = [bestedgeto[bj] for bj in touched]
         bestedge[b] = -1
-        for edge_k in blossombestedges[b]:
-            if bestedge[b] == -1 or slack(edge_k) < slack(bestedge[b]):
-                bestedge[b] = edge_k
+        bestsl = None
+        for bj in touched:
+            if bestedge[b] == -1 or bestslackto[bj] < bestsl:
+                bestedge[b] = bestedgeto[bj]
+                bestsl = bestslackto[bj]
+        best_np[b] = bestedge[b]
 
     def expand_blossom(b: int, endstage: bool) -> None:
         """Undo blossom b (its dual hit zero, or the stage ended)."""
         for s in blossomchilds[b]:
             blossomparent[s] = -1
+            bpar_np[s] = -1
             if s < nvertex:
                 inblossom[s] = s
+                inb_np[s] = s
             elif endstage and dualvar[s] == 0:
                 # Recursively expand sub-blossoms with zero dual.
                 expand_blossom(s, endstage)
             else:
-                for leaf in blossom_leaves(s):
+                leaves = blossom_leaves(s)
+                for leaf in leaves:
                     inblossom[leaf] = s
+                inb_np[leaves] = s
         if (not endstage) and label[b] == 2:
             # The expanding blossom was a T-blossom mid-stage: relabel
             # the even-path children and clear the odd-path ones.
-            assert labelend[b] >= 0
+            if debug:
+                assert labelend[b] >= 0
             entrychild = inblossom[endpoint[labelend[b] ^ 1]]
             j = blossomchilds[b].index(entrychild)
             if j & 1:
@@ -275,8 +428,11 @@ def max_weight_matching(edges: Sequence[Edge],
             while j != 0:
                 # Relabel the T-sub-blossom on the path to the base.
                 label[endpoint[p ^ 1]] = 0
-                label[endpoint[blossomendps[b][j - endptrick]
-                               ^ endptrick ^ 1]] = 0
+                lab_np[endpoint[p ^ 1]] = 0
+                vz = endpoint[blossomendps[b][j - endptrick]
+                              ^ endptrick ^ 1]
+                label[vz] = 0
+                lab_np[vz] = 0
                 assign_label(endpoint[p ^ 1], 2, p)
                 allowedge[blossomendps[b][j - endptrick] // 2] = True
                 j += jstep
@@ -286,8 +442,10 @@ def max_weight_matching(edges: Sequence[Edge],
             # The base sub-blossom keeps label T without propagating.
             bv = blossomchilds[b][j]
             label[endpoint[p ^ 1]] = label[bv] = 2
+            lab_np[endpoint[p ^ 1]] = lab_np[bv] = 2
             labelend[endpoint[p ^ 1]] = labelend[bv] = p
             bestedge[bv] = -1
+            best_np[bv] = -1
             # Children off the path lose their labels (but a vertex
             # individually reached from outside keeps a T handle).
             j += jstep
@@ -301,18 +459,24 @@ def max_weight_matching(edges: Sequence[Edge],
                     if label[leaf] != 0:
                         break
                 if leaf is not None and label[leaf] != 0:
-                    assert label[leaf] == 2
-                    assert inblossom[leaf] == bv
+                    if debug:
+                        assert label[leaf] == 2
+                        assert inblossom[leaf] == bv
                     label[leaf] = 0
+                    lab_np[leaf] = 0
                     label[endpoint[mate[blossombase[bv]]]] = 0
+                    lab_np[endpoint[mate[blossombase[bv]]]] = 0
                     assign_label(leaf, 2, labelend[leaf])
                 j += jstep
         # Recycle b.
         label[b] = labelend[b] = -1
+        lab_np[b] = -1
         blossomchilds[b] = blossomendps[b] = None
         blossombase[b] = -1
+        bbase_np[b] = -1
         blossombestedges[b] = None
         bestedge[b] = -1
+        best_np[b] = -1
         unusedblossoms.append(b)
 
     def augment_blossom(b: int, v: int) -> None:
@@ -345,7 +509,9 @@ def max_weight_matching(edges: Sequence[Edge],
         blossomchilds[b] = blossomchilds[b][i:] + blossomchilds[b][:i]
         blossomendps[b] = blossomendps[b][i:] + blossomendps[b][:i]
         blossombase[b] = blossombase[blossomchilds[b][0]]
-        assert blossombase[b] == v
+        bbase_np[b] = blossombase[b]
+        if debug:
+            assert blossombase[b] == v
 
     def augment_matching(k: int) -> None:
         """Flip the matching along the augmenting path through edge k."""
@@ -353,8 +519,9 @@ def max_weight_matching(edges: Sequence[Edge],
         for (s, p) in ((v, 2 * k + 1), (w, 2 * k)):
             while True:
                 bs = inblossom[s]
-                assert label[bs] == 1
-                assert labelend[bs] == mate[blossombase[bs]]
+                if debug:
+                    assert label[bs] == 1
+                    assert labelend[bs] == mate[blossombase[bs]]
                 if bs >= nvertex:
                     augment_blossom(bs, s)
                 mate[s] = p
@@ -362,11 +529,13 @@ def max_weight_matching(edges: Sequence[Edge],
                     break  # reached a free root
                 t = endpoint[labelend[bs]]
                 bt = inblossom[t]
-                assert label[bt] == 2
-                assert labelend[bt] >= 0
+                if debug:
+                    assert label[bt] == 2
+                    assert labelend[bt] >= 0
                 s = endpoint[labelend[bt]]
                 j = endpoint[labelend[bt] ^ 1]
-                assert blossombase[bt] == t
+                if debug:
+                    assert blossombase[bt] == t
                 if bt >= nvertex:
                     augment_blossom(bt, j)
                 mate[j] = labelend[bt]
@@ -376,7 +545,9 @@ def max_weight_matching(edges: Sequence[Edge],
     # exists and terminates).
     for _ in range(nvertex):
         label[:] = (2 * nvertex) * [0]
+        lab_np[:] = 0
         bestedge[:] = (2 * nvertex) * [-1]
+        best_np[:] = -1
         for b in range(nvertex, 2 * nvertex):
             blossombestedges[b] = None
         allowedge[:] = nedge * [False]
@@ -388,89 +559,168 @@ def max_weight_matching(edges: Sequence[Edge],
 
         augmented = False
         while True:
-            # Grow the forest from S-vertices in the queue.
+            # Grow the forest from S-vertices in the queue.  Slack reads
+            # are inlined list look-ups (this loop runs tens of millions
+            # of iterations on large backlogs — every name is local, and
+            # NumPy is kept out: per-row gathers lose to plain list
+            # indexing at realistic row lengths).
+            dv = dualvar
+            w4 = weight4
+            inb = inblossom
+            lbl = label
+            allowed = allowedge
+            ei = ei_l
+            ej = ej_l
+            best_l = bestedge
+            nbr_t = nbr_pkw
             while queue and not augmented:
                 v = queue.pop()
-                assert label[inblossom[v]] == 1
-                for p in neighbend[v]:
-                    k = p // 2
-                    w = endpoint[p]
-                    if inblossom[v] == inblossom[w]:
+                if debug:
+                    assert lbl[inb[v]] == 1
+                dv_v = dv[v]
+                inb_v = inb[v]
+                for p, k, w in nbr_t[v]:
+                    bw = inb[w]
+                    if inb_v == bw:
                         continue  # internal edge
-                    kslack = None
-                    if not allowedge[k]:
-                        kslack = slack(k)
+                    ok = allowed[k]
+                    if ok:
+                        kslack = 0
+                    else:
+                        kslack = dv_v + dv[w] - w4[k]
                         if kslack <= 0:
-                            allowedge[k] = True
-                    if allowedge[k]:
-                        if label[inblossom[w]] == 0:
+                            allowed[k] = ok = True
+                    if ok:
+                        lw = lbl[bw]
+                        if lw == 0:
                             assign_label(w, 2, p ^ 1)
-                        elif label[inblossom[w]] == 1:
+                        elif lw == 1:
                             base = scan_blossom(v, w)
                             if base >= 0:
                                 add_blossom(base, k)
+                                # v now lives in the new blossom.
+                                inb_v = inb[v]
                             else:
                                 augment_matching(k)
                                 augmented = True
                                 break
-                        elif label[w] == 0:
+                        elif lbl[w] == 0:
                             # w sits inside a T-blossom but was not yet
                             # individually reached; give it a handle so
                             # the blossom can expand through it later.
-                            assert label[inblossom[w]] == 2
-                            label[w] = 2
+                            if debug:
+                                assert lbl[bw] == 2
+                            lbl[w] = 2
+                            lab_np[w] = 2
                             labelend[w] = p ^ 1
-                    elif label[inblossom[w]] == 1:
-                        b = inblossom[v]
-                        if bestedge[b] == -1 or kslack < slack(bestedge[b]):
-                            bestedge[b] = k
-                    elif label[w] == 0:
-                        if bestedge[w] == -1 or kslack < slack(bestedge[w]):
-                            bestedge[w] = k
+                    elif lbl[bw] == 1:
+                        prev = best_l[inb_v]
+                        if (prev == -1
+                                or kslack < dv[ei[prev]]
+                                + dv[ej[prev]] - w4[prev]):
+                            best_l[inb_v] = k
+                            best_np[inb_v] = k
+                    elif lbl[w] == 0:
+                        prev = best_l[w]
+                        if (prev == -1
+                                or kslack < dv[ei[prev]]
+                                + dv[ej[prev]] - w4[prev]):
+                            best_l[w] = k
+                            best_np[w] = k
             if augmented:
                 break
 
             # No zero-slack edges to cross: adjust the dual variables.
+            # The candidate scans over vertices/blossoms/edges are
+            # array reductions over the persistent mirrors — no list
+            # conversion happens here.  ``argmin`` returns the first
+            # minimum and the delta classes are compared in ascending
+            # type order with strict ``<``, so tie-breaks match the
+            # historical ascending scalar scans exactly.
+            vlab = lab_np.take(inb_np)
+            validb = best_np != -1
+
             deltatype = -1
             delta = deltaedge = deltablossom = None
             if not maxcardinality:
                 deltatype = 1
-                delta = min(dualvar[:nvertex])
-            for v in range(nvertex):
-                if label[inblossom[v]] == 0 and bestedge[v] != -1:
-                    d = slack(bestedge[v])
-                    if deltatype == -1 or d < delta:
-                        delta, deltatype, deltaedge = d, 2, bestedge[v]
-            for b in range(2 * nvertex):
-                if (blossomparent[b] == -1 and label[b] == 1
-                        and bestedge[b] != -1):
-                    d = slack(bestedge[b]) / 2
-                    if deltatype == -1 or d < delta:
-                        delta, deltatype, deltaedge = d, 3, bestedge[b]
-            for b in range(nvertex, 2 * nvertex):
-                if (blossombase[b] >= 0 and blossomparent[b] == -1
-                        and label[b] == 2
-                        and (deltatype == -1 or dualvar[b] < delta)):
-                    delta, deltatype, deltablossom = dualvar[b], 4, b
+                delta = dvert_np.min()
+
+            # Delta 2: least slack from an S-vertex to a free vertex.
+            # Delta 3: half the least slack between two top-level
+            # S-blossoms.  Both classes need the same slack gather, so
+            # their candidate edges are fetched in one concatenated
+            # shot; ``sl[:n2]`` / ``sl[n2:]`` splits them back out.
+            idx2 = ((vlab == 0) & validb[:nvertex]).nonzero()[0]
+            idx3 = ((bpar_np == -1) & (lab_np == 1) & validb).nonzero()[0]
+            n2 = idx2.size
+            if n2 or idx3.size:
+                if not idx3.size:
+                    cand = best_np.take(idx2)
+                elif not n2:
+                    cand = best_np.take(idx3)
+                else:
+                    cand = best_np.take(np.concatenate((idx2, idx3)))
+                sl = (dual_np.take(edge_i.take(cand))
+                      + dual_np.take(edge_j.take(cand))
+                      - weight4_np.take(cand))
+                if n2:
+                    sl2 = sl[:n2]
+                    pos = int(sl2.argmin())
+                    if deltatype == -1 or sl2[pos] < delta:
+                        delta, deltatype = sl2[pos], 2
+                        deltaedge = int(cand[pos])
+                if idx3.size:
+                    # In doubled integer units the S-S slack is provably
+                    # even, so the halving shift is exact.
+                    sl3 = sl[n2:]
+                    if integral:
+                        if debug:
+                            assert not (sl3 & 1).any()
+                        half = sl3 >> 1
+                    else:
+                        half = sl3 / 2
+                    pos = int(half.argmin())
+                    if deltatype == -1 or half[pos] < delta:
+                        delta, deltatype = half[pos], 3
+                        deltaedge = int(cand[n2 + pos])
+
+            # Delta 4: least dual of a top-level T-blossom.  While no
+            # blossom has ever been allocated (``unusedblossoms`` still
+            # full) the blossom halves of the mirrors are inert, so the
+            # scan and the blossom dual update are skipped outright.
+            blossoms_live = len(unusedblossoms) < nvertex
+            if blossoms_live:
+                topb = (bbase_hi_np >= 0) & (bpar_hi_np == -1)
+                top_t = topb & (lab_hi_np == 2)
+                idx4 = top_t.nonzero()[0]
+                if idx4.size:
+                    duals = dblos_np.take(idx4)
+                    pos = int(duals.argmin())
+                    if deltatype == -1 or duals[pos] < delta:
+                        delta, deltatype = duals[pos], 4
+                        deltablossom = int(idx4[pos]) + nvertex
+
             if deltatype == -1:
                 # No further improvement possible (max-cardinality mode
                 # only); make the optimum verifiable anyway.
-                assert maxcardinality
+                if debug:
+                    assert maxcardinality
                 deltatype = 1
-                delta = max(0, min(dualvar[:nvertex]))
+                delta = max(0, dvert_np.min())
 
-            for v in range(nvertex):
-                v_label = label[inblossom[v]]
-                if v_label == 1:
-                    dualvar[v] -= delta
-                elif v_label == 2:
-                    dualvar[v] += delta
-            for b in range(nvertex, 2 * nvertex):
-                if blossombase[b] >= 0 and blossomparent[b] == -1:
-                    if label[b] == 1:
-                        dualvar[b] += delta
-                    elif label[b] == 2:
-                        dualvar[b] -= delta
+            # Apply delta: S-side vertices down, T-side up; the reverse
+            # for blossom duals — then sync back to the scalar list.
+            # Multiply-by-mask updates touch non-selected entries with
+            # ``x -= 0``, which is exact in both int64 and IEEE float
+            # (no dual is ever -0.0), and avoid three-pass fancy
+            # boolean assignment.
+            dvert_np -= delta * (vlab == 1)
+            dvert_np += delta * (vlab == 2)
+            if blossoms_live:
+                dblos_np += delta * (topb & (lab_hi_np == 1))
+                dblos_np -= delta * top_t
+            dualvar[:] = dual_np.tolist()
 
             if deltatype == 1:
                 break  # optimum reached
@@ -479,12 +729,14 @@ def max_weight_matching(edges: Sequence[Edge],
                 i, j, _ = edges[deltaedge]
                 if label[inblossom[i]] == 0:
                     i, j = j, i
-                assert label[inblossom[i]] == 1
+                if debug:
+                    assert label[inblossom[i]] == 1
                 queue.append(i)
             elif deltatype == 3:
                 allowedge[deltaedge] = True
                 i, j, _ = edges[deltaedge]
-                assert label[inblossom[i]] == 1
+                if debug:
+                    assert label[inblossom[i]] == 1
                 queue.append(i)
             else:
                 expand_blossom(deltablossom, False)
@@ -510,43 +762,61 @@ def max_weight_matching(edges: Sequence[Edge],
 
 def min_weight_perfect_matching(
         costs: Dict[Tuple[int, int], float],
-        n_vertices: int) -> Set[Tuple[int, int]]:
+        n_vertices: int,
+        debug: bool = False) -> Set[Tuple[int, int]]:
     """Minimum-weight perfect matching on a graph with float costs.
 
     ``costs`` maps unordered pairs ``(i, j)`` with ``i < j`` to a
     non-negative cost; ``n_vertices`` must be even and a perfect
     matching must exist (in the scheduler the graph is complete, so it
-    always does).  Returns the matching as a set of ``(i, j)`` pairs
-    with ``i < j``.
+    always does — the error otherwise names the unmatched vertices).
+    Returns the matching as a set of ``(i, j)`` pairs with ``i < j``.
 
-    Implementation: quantise the costs onto an integer grid, transform
-    cost -> (max + 1 - cost) so smaller cost means bigger weight, and
-    run :func:`max_weight_matching` in max-cardinality mode.
+    Implementation: quantise the costs onto an integer grid (one
+    vectorised pass), transform cost -> (max + 1 - cost) so smaller
+    cost means bigger weight, and run :func:`max_weight_matching` in
+    max-cardinality mode.
     """
     if n_vertices % 2 != 0:
         raise ValueError(f"perfect matching needs an even vertex count, "
                          f"got {n_vertices}")
     if n_vertices == 0:
         return set()
-    for (i, j), cost in costs.items():
-        if not (0 <= i < j < n_vertices):
+
+    edges: List[Edge] = []
+    if costs:
+        pair_list = list(costs.keys())
+        pairs = np.array(pair_list, dtype=np.int64)
+        vals = np.fromiter(costs.values(), dtype=float, count=len(costs))
+        bad = ((pairs[:, 0] < 0) | (pairs[:, 0] >= pairs[:, 1])
+               | (pairs[:, 1] >= n_vertices))
+        if bad.any():
+            i, j = pair_list[int(np.flatnonzero(bad)[0])]
             raise ValueError(f"bad pair ({i}, {j}) for {n_vertices} vertices")
-        if cost < 0.0:
-            raise ValueError(f"costs must be non-negative, got {cost}")
+        if (vals < 0.0).any():
+            worst = float(vals.min())
+            raise ValueError(f"costs must be non-negative, got {worst}")
 
-    max_cost = max(costs.values(), default=0.0)
-    # Quantisation grid fine enough that rounding never reorders two
-    # schedules that differ by more than one part in 1e12.
-    grid = max_cost / 1e12 if max_cost > 0.0 else 1.0
-    int_costs = {pair: int(round(cost / grid)) for pair, cost in costs.items()}
-    top = max(int_costs.values(), default=0) + 1
-    edges = [(i, j, top - c) for (i, j), c in int_costs.items()]
+        max_cost = float(vals.max())
+        # Quantisation grid fine enough that rounding never reorders two
+        # schedules that differ by more than one part in 1e12.
+        grid = max_cost / 1e12 if max_cost > 0.0 else 1.0
+        # np.rint rounds half to even, exactly like the historical
+        # ``int(round(...))`` per-pair loop.
+        int_costs = np.rint(vals / grid).astype(np.int64)
+        top = int(int_costs.max()) + 1
+        weights = (top - int_costs).tolist()
+        edges = [(int(i), int(j), w)
+                 for (i, j), w in zip(pair_list, weights)]
 
-    mate = max_weight_matching(edges, maxcardinality=True)
+    mate = max_weight_matching(edges, maxcardinality=True, debug=debug)
     matching = {(v, mate[v]) for v in range(len(mate)) if 0 <= v < mate[v]}
     matched_vertices = {v for pair in matching for v in pair}
     if len(matched_vertices) != n_vertices:
-        raise ValueError("graph admits no perfect matching")
+        unmatched = sorted(set(range(n_vertices)) - matched_vertices)
+        raise ValueError(
+            "graph admits no perfect matching: "
+            f"vertices {unmatched} left unmatched")
     return matching
 
 

@@ -19,15 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.phy.shannon import Channel
 from repro.scheduling.matching import min_weight_perfect_matching
+from repro.scheduling.matching_scalar import min_weight_perfect_matching_scalar
 from repro.techniques.pairing import (
     PairAirtime,
     PairMode,
     TechniqueSet,
     pair_airtime,
+    pair_airtime_batch,
     solo_airtime,
+    solo_airtime_batch,
 )
+from repro.util.timing import PhaseTimer, maybe_phase
 from repro.util.validation import check_positive
 
 
@@ -166,7 +172,41 @@ class SicScheduler:
 
         Returns ``(costs, dummy_index)`` where ``dummy_index`` is the
         dummy vertex id for odd client counts, else ``None``.
+
+        The full upper-triangular ``t_ij`` matrix is computed in one
+        vectorised shot via :func:`pair_airtime_batch`; element for
+        element it is bit-identical to the historical per-pair loop,
+        which survives as :meth:`build_cost_graph_scalar` for the golden
+        equivalence tests and the speedup benchmark.
         """
+        n = len(clients)
+        costs: Dict[Tuple[int, int], float] = {}
+        if n >= 2:
+            rss = np.fromiter((c.rss_w for c in clients), dtype=float,
+                              count=n)
+            ii, jj = np.triu_indices(n, k=1)
+            airtimes = pair_airtime_batch(
+                self.channel, self.packet_bits, rss[ii], rss[jj],
+                techniques=self.techniques, sic_enabled=self.sic_enabled)
+            costs = dict(zip(zip(ii.tolist(), jj.tolist()),
+                             airtimes.tolist()))
+        dummy = None
+        if n % 2 == 1:
+            dummy = n
+            solos = solo_airtime_batch(
+                self.channel, self.packet_bits,
+                np.fromiter((c.rss_w for c in clients), dtype=float,
+                            count=n))
+            for i, t in enumerate(solos.tolist()):
+                costs[(i, dummy)] = t
+        return costs, dummy
+
+    def build_cost_graph_scalar(
+            self, clients: Sequence[UploadClient],
+    ) -> Tuple[Dict[Tuple[int, int], float], Optional[int]]:
+        """Pre-vectorisation :meth:`build_cost_graph`, kept as the golden
+        reference (PR-1 convention): one scalar ``pair_airtime`` call per
+        pair.  Must stay behaviourally frozen."""
         n = len(clients)
         costs: Dict[Tuple[int, int], float] = {}
         for i in range(n):
@@ -179,8 +219,14 @@ class SicScheduler:
                 costs[(i, dummy)] = self.solo_cost(clients[i])
         return costs, dummy
 
-    def schedule(self, clients: Sequence[UploadClient]) -> Schedule:
-        """Compute the minimum-total-time schedule for the backlog."""
+    def schedule(self, clients: Sequence[UploadClient],
+                 timer: Optional[PhaseTimer] = None) -> Schedule:
+        """Compute the minimum-total-time schedule for the backlog.
+
+        Pass a :class:`~repro.util.timing.PhaseTimer` to attribute the
+        wall-clock time to the ``cost_build`` / ``matching`` /
+        ``assembly`` phases (accumulating across calls).
+        """
         if not clients:
             return Schedule(slots=(), serial_time_s=0.0)
         names = [c.name for c in clients]
@@ -194,9 +240,35 @@ class SicScheduler:
                 serial_time_s=solo,
             )
 
-        costs, dummy = self.build_cost_graph(clients)
+        with maybe_phase(timer, "cost_build"):
+            costs, dummy = self.build_cost_graph(clients)
         n_vertices = len(clients) + (1 if dummy is not None else 0)
-        matching = min_weight_perfect_matching(costs, n_vertices)
+        with maybe_phase(timer, "matching"):
+            matching = min_weight_perfect_matching(costs, n_vertices)
+        with maybe_phase(timer, "assembly"):
+            return self._matching_to_schedule(clients, matching, dummy)
+
+    def schedule_scalar(self, clients: Sequence[UploadClient]) -> Schedule:
+        """The pre-fast-path scheduling pipeline, end to end: scalar cost
+        graph + pure-Python blossom.  Exists so the golden tests and the
+        speedup benchmark can compare against the historical behaviour
+        without checking out an old commit."""
+        if not clients:
+            return Schedule(slots=(), serial_time_s=0.0)
+        names = [c.name for c in clients]
+        if len(set(names)) != len(names):
+            raise ValueError(f"client names must be unique, got {names}")
+        if len(clients) == 1:
+            only = clients[0]
+            solo = self.solo_cost(only)
+            return Schedule(
+                slots=(ScheduledSlot((only.name,), solo, PairMode.SERIAL),),
+                serial_time_s=solo,
+            )
+
+        costs, dummy = self.build_cost_graph_scalar(clients)
+        n_vertices = len(clients) + (1 if dummy is not None else 0)
+        matching = min_weight_perfect_matching_scalar(costs, n_vertices)
         return self._matching_to_schedule(clients, matching, dummy)
 
     def pairing_to_schedule(self, clients: Sequence[UploadClient],

@@ -23,6 +23,9 @@ from repro.techniques.pairing import (
     PairAirtime,
     TechniqueSet,
     pair_airtime,
+    pair_airtime_batch,
+    solo_airtime,
+    solo_airtime_batch,
 )
 from repro.techniques.power_control import (
     power_controlled_pair_airtime,
@@ -40,6 +43,9 @@ __all__ = [
     "pack_pair_links",
     "pack_uplink_airtime",
     "pair_airtime",
+    "pair_airtime_batch",
     "power_controlled_pair_airtime",
     "power_controlled_pair_airtime_batch",
+    "solo_airtime",
+    "solo_airtime_batch",
 ]

@@ -22,10 +22,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.phy.shannon import Channel, airtime, shannon_rate
 from repro.sic.airtime import z_serial_same_receiver, z_sic_same_receiver
-from repro.techniques.multirate import multirate_pair_airtime
-from repro.techniques.power_control import power_controlled_pair_airtime
+from repro.techniques.multirate import (
+    multirate_pair_airtime,
+    multirate_pair_airtime_batch,
+)
+from repro.techniques.power_control import (
+    power_controlled_pair_airtime,
+    power_controlled_pair_airtime_batch,
+)
 from repro.util.validation import check_positive
 
 
@@ -103,6 +111,44 @@ def pair_airtime(channel: Channel, packet_bits: float,
                        serial_airtime_s=serial, sic_airtime_s=sic)
 
 
+def pair_airtime_batch(channel: Channel, packet_bits: float,
+                       rss_a_w: np.ndarray, rss_b_w: np.ndarray,
+                       techniques: TechniqueSet = TechniqueSet.NONE,
+                       sic_enabled: bool = True) -> np.ndarray:
+    """Vectorised :func:`pair_airtime` (airtimes only).
+
+    Element ``k`` equals
+    ``pair_airtime(channel, packet_bits, a[k], b[k], ...).airtime_s``
+    bit for bit: every branch of the scalar decision (serial floor,
+    plain SIC, power control, multirate) is an elementwise minimum over
+    the same IEEE operations, so no rounding difference can creep in.
+    The per-pair mode/diagnostics are dropped — the scheduler's cost
+    graph only needs the ``t_ij`` values, and the few chosen pairs are
+    re-costed through the scalar path when the schedule is assembled.
+    """
+    check_positive("packet_bits", packet_bits)
+    rss_a = np.asarray(rss_a_w, dtype=float)
+    rss_b = np.asarray(rss_b_w, dtype=float)
+    if np.any(rss_a <= 0.0) or np.any(rss_b <= 0.0):
+        raise ValueError("RSS values must be positive")
+
+    serial = np.asarray(
+        z_serial_same_receiver(channel, packet_bits, rss_a, rss_b),
+        dtype=float)
+    if not sic_enabled:
+        return serial
+
+    best = np.asarray(
+        z_sic_same_receiver(channel, packet_bits, rss_a, rss_b), dtype=float)
+    if TechniqueSet.POWER_CONTROL in techniques:
+        best = np.minimum(best, power_controlled_pair_airtime_batch(
+            channel, packet_bits, rss_a, rss_b))
+    if TechniqueSet.MULTIRATE in techniques:
+        best = np.minimum(best, multirate_pair_airtime_batch(
+            channel, packet_bits, rss_a, rss_b))
+    return np.minimum(serial, best)
+
+
 def solo_airtime(channel: Channel, packet_bits: float, rss_w: float) -> float:
     """Time for one client to deliver one packet alone (clean rate).
 
@@ -113,3 +159,18 @@ def solo_airtime(channel: Channel, packet_bits: float, rss_w: float) -> float:
     check_positive("rss_w", rss_w)
     rate = shannon_rate(channel.bandwidth_hz, rss_w, 0.0, channel.noise_w)
     return float(airtime(packet_bits, rate))
+
+
+def solo_airtime_batch(channel: Channel, packet_bits: float,
+                       rss_w: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`solo_airtime`: clean-rate airtimes per client.
+
+    Element ``k`` equals ``solo_airtime(channel, packet_bits, rss[k])``
+    bit for bit (same elementwise operations).
+    """
+    check_positive("packet_bits", packet_bits)
+    rss = np.asarray(rss_w, dtype=float)
+    if np.any(rss <= 0.0):
+        raise ValueError("RSS values must be positive")
+    rate = shannon_rate(channel.bandwidth_hz, rss, 0.0, channel.noise_w)
+    return np.asarray(airtime(packet_bits, rate), dtype=float)

@@ -251,6 +251,14 @@ class TestFig12:
     def test_runtime_reported_for_all_sizes(self, result):
         assert set(result["runtime"]) == {4, 8, 16, 32, 64}
 
+    def test_runtime_carries_phase_split(self, result):
+        for entry in result["runtime"].values():
+            assert set(entry) == {"total_s", "cost_build_s",
+                                  "matching_s", "assembly_s"}
+            assert all(v >= 0.0 for v in entry.values())
+            phase_sum = sum(v for k, v in entry.items() if k != "total_s")
+            assert phase_sum <= entry["total_s"]
+
 
 class TestFig13:
     @pytest.fixture(scope="class")

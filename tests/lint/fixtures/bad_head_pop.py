@@ -1,0 +1,46 @@
+"""Queue-hygiene fixture (RPR304): quadratic head pops inside loops."""
+
+from collections import deque
+
+
+def drain(events):
+    served = []
+    while events:
+        served.append(events.pop(0))  # expect: RPR304
+    return served
+
+
+def round_robin(queues):
+    out = []
+    for queue in queues:
+        if queue:
+            out.append(queue.pop(0))  # expect: RPR304
+    return out
+
+
+def drain_nested(batches):
+    out = []
+    for batch in batches:
+        while batch:
+            out.append(batch.pop(0))  # expect: RPR304
+    return out
+
+
+def drain_fast(events):
+    # Fine: deque head pops are O(1).
+    queue = deque(events)
+    served = []
+    while queue:
+        served.append(queue.popleft())
+    return served
+
+
+def drain_lifo(stack):
+    # Fine: tail pops are O(1) on a plain list.
+    while stack:
+        stack.pop()
+
+
+def head_pop_once(events):
+    # Fine: a one-off head pop outside any loop is O(n) exactly once.
+    return events.pop(0)

@@ -45,6 +45,54 @@ class TestSleepFixture:
         }
 
 
+class TestHeadPopFixture:
+    def test_exact_codes_and_lines(self):
+        path = FIXTURES / "bad_head_pop.py"
+        assert lint_found(path) == expected_markers(path)
+
+    def test_markers_cover_the_code(self):
+        codes = {
+            code
+            for code, _ in expected_markers(FIXTURES / "bad_head_pop.py")
+        }
+        assert codes == {"RPR304"}
+
+    def test_popleft_and_tail_pop_not_flagged(self):
+        # The fixture's drain_fast()/drain_lifo() loops pop O(1); no
+        # violation may land on those lines.
+        path = FIXTURES / "bad_head_pop.py"
+        ok_lines = {
+            lineno
+            for lineno, text in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            )
+            if "popleft()" in text or "stack.pop()" in text
+        }
+        assert ok_lines
+        assert not {
+            line for _, line in lint_found(path) if line in ok_lines
+        }
+
+    def test_head_pop_outside_loop_not_flagged(self, tmp_path):
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "def take_first(events):\n"
+            "    return events.pop(0)\n"
+        )
+        assert lint_found(target) == set()
+
+    def test_fires_in_any_package(self, tmp_path):
+        # Unlike RPR301-303, RPR304 has no package gate: quadratic
+        # drains are a defect wherever they appear.
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "def drain(q):\n"
+            "    while q:\n"
+            "        q.pop(0)\n"
+        )
+        assert lint_found(target) == {("RPR304", 3)}
+
+
 class TestScopeOfRule:
     def test_wall_clock_fine_outside_result_pipelines(self, tmp_path):
         target = tmp_path / "tool.py"

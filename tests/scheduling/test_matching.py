@@ -19,6 +19,10 @@ from repro.scheduling.matching import (
     max_weight_matching,
     min_weight_perfect_matching,
 )
+from repro.scheduling.matching_scalar import (
+    max_weight_matching_scalar,
+    min_weight_perfect_matching_scalar,
+)
 
 networkx = pytest.importorskip("networkx")
 
@@ -246,3 +250,99 @@ class TestMinWeightPerfect:
         costs = {(i, j): 0.0 for i, j in itertools.combinations(range(4), 2)}
         matching = min_weight_perfect_matching(costs, 4)
         assert len(matching) == 2
+
+    def test_unmatched_vertices_named_in_error(self):
+        # A star on 4 vertices: only one edge fits, stranding two
+        # leaves.  The error must name the stranded vertices so
+        # scheduler bugs are debuggable.
+        costs = {(0, 1): 1.0, (0, 2): 2.0, (0, 3): 3.0}
+        with pytest.raises(ValueError, match=r"vertices \[2, 3\] left "
+                                             r"unmatched"):
+            min_weight_perfect_matching(costs, 4)
+
+
+class TestScalarGoldenEquivalence:
+    """The array-accelerated blossom must reproduce the frozen scalar
+    reference EXACTLY — same mate arrays, same chosen pairs — on every
+    graph shape (PR-1 convention).  Any divergence means the numpy dual
+    bookkeeping broke the algorithm, not just slowed it down."""
+
+    def random_edges(self, rng, n, density, int_weights):
+        edges = []
+        for i, j in itertools.combinations(range(n), 2):
+            if rng.random() < density:
+                w = (rng.randint(-20, 60) if int_weights
+                     else rng.uniform(-2.0, 6.0))
+                edges.append((i, j, w))
+        return edges
+
+    @pytest.mark.parametrize("int_weights", [True, False],
+                             ids=["int", "float"])
+    @pytest.mark.parametrize("maxcardinality", [False, True])
+    def test_random_graphs_identical_mates(self, int_weights,
+                                           maxcardinality):
+        rng = random.Random(20100406 + int_weights + 2 * maxcardinality)
+        for trial in range(150):
+            n = rng.randint(2, 13)
+            edges = self.random_edges(rng, n, rng.uniform(0.2, 1.0),
+                                      int_weights)
+            fast = max_weight_matching(edges, maxcardinality=maxcardinality)
+            ref = max_weight_matching_scalar(
+                edges, maxcardinality=maxcardinality)
+            assert fast == ref, f"trial={trial} edges={edges}"
+
+    def test_debug_asserts_hold_on_random_graphs(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            n = rng.randint(2, 10)
+            edges = self.random_edges(rng, n, 0.7, int_weights=False)
+            fast = max_weight_matching(edges, maxcardinality=True,
+                                       debug=True)
+            ref = max_weight_matching_scalar(edges, maxcardinality=True)
+            assert fast == ref
+
+    def test_known_blossom_cases_identical(self):
+        cases = [
+            [(1, 2, 9), (1, 3, 8), (2, 3, 10), (3, 4, 7)],
+            [(1, 2, 9), (1, 3, 8), (2, 3, 10), (3, 4, 7), (1, 6, 5),
+             (4, 5, 6)],
+            [(1, 2, 10), (1, 7, 10), (2, 3, 12), (3, 4, 20), (3, 5, 20),
+             (4, 5, 25), (5, 6, 10), (6, 7, 10), (7, 8, 8)],
+        ]
+        for edges in cases:
+            for maxcard in (False, True):
+                assert max_weight_matching(edges, maxcardinality=maxcard) \
+                    == max_weight_matching_scalar(
+                        edges, maxcardinality=maxcard)
+
+    def test_min_weight_perfect_identical_on_complete_graphs(self):
+        rng = random.Random(11)
+        for _ in range(40):
+            n = rng.choice([2, 4, 6, 8, 10, 12])
+            costs = {(i, j): rng.uniform(0.0, 5.0)
+                     for i, j in itertools.combinations(range(n), 2)}
+            assert min_weight_perfect_matching(costs, n) == \
+                min_weight_perfect_matching_scalar(costs, n)
+
+    def test_min_weight_perfect_identical_with_dummy_vertex(self):
+        # The scheduler's odd-backlog shape: a complete graph over the
+        # clients plus a dummy vertex joined to everyone by solo costs.
+        rng = random.Random(13)
+        for _ in range(40):
+            n = rng.choice([3, 5, 7, 9, 11])
+            costs = {(i, j): rng.uniform(1e-5, 5e-4)
+                     for i, j in itertools.combinations(range(n), 2)}
+            for i in range(n):
+                costs[(i, n)] = rng.uniform(1e-5, 5e-4)
+            assert min_weight_perfect_matching(costs, n + 1) == \
+                min_weight_perfect_matching_scalar(costs, n + 1)
+
+    def test_huge_weights_take_float_fallback_identically(self):
+        # Beyond the int64-safe ceiling both implementations must drop
+        # to float arithmetic and still agree.
+        big = 2.0 ** 61
+        edges = [(0, 1, big), (1, 2, big * 1.5), (2, 3, big),
+                 (0, 3, big * 0.5), (0, 2, big * 1.25)]
+        for maxcard in (False, True):
+            assert max_weight_matching(edges, maxcardinality=maxcard) == \
+                max_weight_matching_scalar(edges, maxcardinality=maxcard)

@@ -1,9 +1,13 @@
 """Online (arrival-driven) scheduling tests."""
 
+import numpy as np
 import pytest
 
 from repro.scheduling.online import (
     ArrivalClient,
+    PairCostCache,
+    _arrival_times,
+    _arrival_times_scalar,
     compare_policies_online,
     simulate_online,
 )
@@ -134,3 +138,109 @@ class TestPolicyComparison:
         solo = simulate_online(scheduler, clients, 0.2,
                                policy="sic_pairing", seed=29)
         assert out["sic_pairing"].delays_s == solo.delays_s
+
+
+class TestVectorisedArrivals:
+    """The block-drawn arrival generator must replay the frozen scalar
+    generator draw for draw (PR-1 convention): same events AND the same
+    generator state afterwards, so everything downstream of the stream
+    is untouched by the optimisation."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 2010])
+    def test_events_identical_across_seeds(self, channel, seed):
+        clients = make_clients(channel, [(30, 3000.0), (18, 150.0),
+                                         (24, 40.0), (12, 5000.0)])
+        scalar = _arrival_times_scalar(clients, 0.25,
+                                       np.random.default_rng(seed))
+        fast = _arrival_times(clients, 0.25, np.random.default_rng(seed))
+        assert fast == scalar  # exact floats, exact order
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_generator_state_identical_afterwards(self, channel, seed):
+        # The next draw after generating arrivals must match too —
+        # otherwise later users of the same rng silently diverge.
+        clients = make_clients(channel, [(30, 800.0), (18, 2500.0)])
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        _arrival_times_scalar(clients, 0.3, rng_a)
+        _arrival_times(clients, 0.3, rng_b)
+        assert rng_a.standard_normal() == rng_b.standard_normal()
+
+    def test_low_rate_client_needs_multiple_blocks(self, channel):
+        # A rate so low the first block rarely crosses the horizon
+        # exercises the block-continuation path.
+        clients = make_clients(channel, [(25, 0.8)])
+        for seed in range(6):
+            scalar = _arrival_times_scalar(clients, 40.0,
+                                           np.random.default_rng(seed))
+            fast = _arrival_times(clients, 40.0,
+                                  np.random.default_rng(seed))
+            assert fast == scalar
+
+    def test_no_arrivals_within_horizon(self, channel):
+        clients = make_clients(channel, [(25, 0.01)])
+        rng = np.random.default_rng(5)
+        assert _arrival_times(clients, 0.1, rng) == []
+
+    def test_events_sorted_and_within_horizon(self, channel):
+        clients = make_clients(channel, [(30, 1000.0), (18, 1000.0)])
+        events = _arrival_times(clients, 0.2, np.random.default_rng(1))
+        assert events == sorted(events)
+        assert all(0.0 < t <= 0.2 for t, _ in events)
+
+
+class TestPairCostCache:
+    def load(self, channel):
+        return make_clients(channel, [(32, 3000.0), (16, 3000.0),
+                                      (26, 3000.0), (13, 3000.0)])
+
+    @pytest.mark.parametrize("policy", ["fifo", "sic_pairing"])
+    def test_cached_run_bit_identical(self, scheduler, channel, policy):
+        clients = self.load(channel)
+        cached = simulate_online(scheduler, clients, 0.25, policy=policy,
+                                 seed=17)
+        uncached = simulate_online(scheduler, clients, 0.25, policy=policy,
+                                   seed=17, use_cache=False)
+        assert cached.delays_s == uncached.delays_s  # exact floats
+        assert cached.served_packets == uncached.served_packets
+        assert cached.busy_time_s == uncached.busy_time_s
+        assert cached.leftover_packets == uncached.leftover_packets
+
+    def test_steady_state_batches_mostly_hit(self, scheduler, channel):
+        cache = PairCostCache(scheduler)
+        simulate_online(scheduler, self.load(channel), 0.25,
+                        policy="sic_pairing", seed=17, cache=cache)
+        assert cache.hits + cache.misses > 0
+        # Under sustained load the backlogged set repeats, so most
+        # batches must skip the blossom matching entirely.
+        assert cache.hits > cache.misses
+
+    def test_explicit_cache_shared_across_runs(self, scheduler, channel):
+        clients = self.load(channel)
+        cache = PairCostCache(scheduler)
+        first = simulate_online(scheduler, clients, 0.2,
+                                policy="sic_pairing", seed=3, cache=cache)
+        misses_after_first = cache.misses
+        second = simulate_online(scheduler, clients, 0.2,
+                                 policy="sic_pairing", seed=3, cache=cache)
+        assert second.delays_s == first.delays_s
+        # The replayed run re-sees the same batch sets: no new misses.
+        assert cache.misses == misses_after_first
+
+    def test_schedule_memo_returns_identical_schedule(self, scheduler):
+        from repro.scheduling.scheduler import UploadClient
+        cache = PairCostCache(scheduler)
+        batch = [UploadClient("a", 1e-9), UploadClient("b", 1e-10)]
+        first = cache.schedule(batch)
+        second = cache.schedule(list(reversed(batch)))
+        assert cache.misses == 1 and cache.hits == 1
+        assert second is first  # frozen dataclass, safe to share
+
+    def test_solo_and_pair_memos_match_scheduler(self, scheduler):
+        from repro.scheduling.scheduler import UploadClient
+        cache = PairCostCache(scheduler)
+        a, b = UploadClient("a", 1e-9), UploadClient("b", 1e-10)
+        assert cache.solo_cost(a) == scheduler.solo_cost(a)
+        assert cache.pair_cost(a, b) == scheduler.pair_cost(a, b)
+        # The symmetric key makes the swapped lookup a hit.
+        assert cache.pair_cost(b, a) is cache.pair_cost(a, b)

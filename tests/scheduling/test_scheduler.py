@@ -137,6 +137,74 @@ class TestCostGraph:
             scheduler.pair_cost(b, a).airtime_s)
 
 
+class TestFastPathGoldenEquivalence:
+    """The vectorised pipeline must reproduce the frozen scalar pipeline
+    exactly (PR-1 convention): same cost graphs, same schedules, bit for
+    bit — not approximately."""
+
+    def random_backlog(self, rng, n, channel):
+        snrs_db = rng.uniform(3.0, 45.0, size=n)
+        return make_clients([
+            float(10.0 ** (snr / 10.0)) * channel.noise_w
+            for snr in snrs_db])
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 15, 16, 33])
+    def test_cost_graph_bit_identical(self, scheduler, channel, rng, n):
+        clients = self.random_backlog(rng, n, channel)
+        fast_costs, fast_dummy = scheduler.build_cost_graph(clients)
+        ref_costs, ref_dummy = scheduler.build_cost_graph_scalar(clients)
+        assert fast_dummy == ref_dummy
+        assert fast_costs == ref_costs  # exact float equality
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13, 21, 34])
+    def test_schedule_bit_identical(self, scheduler, channel, rng, n):
+        clients = self.random_backlog(rng, n, channel)
+        fast = scheduler.schedule(clients)
+        ref = scheduler.schedule_scalar(clients)
+        assert fast.to_dict() == ref.to_dict()
+
+    def test_schedule_bit_identical_many_seeds(self, scheduler, channel):
+        import numpy as np
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(2, 20))
+            clients = self.random_backlog(rng, n, channel)
+            fast = scheduler.schedule(clients)
+            ref = scheduler.schedule_scalar(clients)
+            assert fast.to_dict() == ref.to_dict(), f"seed={seed} n={n}"
+
+    def test_no_sic_and_reduced_techniques_agree(self, channel, rng):
+        for techniques in (TechniqueSet.NONE, TechniqueSet.POWER_CONTROL,
+                           TechniqueSet.MULTIRATE):
+            for sic_enabled in (True, False):
+                sched = SicScheduler(channel=channel, techniques=techniques,
+                                     sic_enabled=sic_enabled)
+                clients = self.random_backlog(rng, 9, channel)
+                assert sched.schedule(clients).to_dict() == \
+                    sched.schedule_scalar(clients).to_dict()
+
+    def test_degenerate_backlogs_agree(self, scheduler):
+        for clients in ([], make_clients([1e-9]),
+                        make_clients([1e-9, 1e-9]),
+                        make_clients([1e-9] * 5)):
+            assert scheduler.schedule(clients).to_dict() == \
+                scheduler.schedule_scalar(clients).to_dict()
+
+    def test_phase_timer_covers_all_three_phases(self, scheduler):
+        from repro.util.timing import PhaseTimer
+        timer = PhaseTimer()
+        scheduler.schedule(make_clients([1e-9, 1e-10, 1e-11, 1e-12]),
+                           timer=timer)
+        assert list(timer.phases) == ["cost_build", "matching", "assembly"]
+        assert all(t >= 0.0 for t in timer.phases.values())
+        assert timer.count("matching") == 1
+
+    def test_timer_is_optional(self, scheduler):
+        clients = make_clients([1e-9, 1e-10])
+        assert scheduler.schedule(clients) == \
+            scheduler.schedule(clients, timer=None)
+
+
 class TestPairingToSchedule:
     def test_explicit_pairing(self, scheduler):
         clients = make_clients([1e-9, 1e-10, 1e-11])

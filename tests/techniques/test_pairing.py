@@ -6,11 +6,15 @@ from hypothesis import strategies as st
 
 from repro.phy.shannon import Channel
 from repro.sic.airtime import z_serial_same_receiver, z_sic_same_receiver
+import numpy as np
+
 from repro.techniques.pairing import (
     PairMode,
     TechniqueSet,
     pair_airtime,
+    pair_airtime_batch,
     solo_airtime,
+    solo_airtime_batch,
 )
 
 L = 12_000.0
@@ -110,3 +114,68 @@ class TestPairAirtime:
         b = pair_airtime(channel, L, 3e-10, 1e-9,
                          techniques=TechniqueSet.ALL)
         assert a.airtime_s == pytest.approx(b.airtime_s)
+
+
+#: Every technique set the scheduler can hand the batch kernels.
+ALL_TECHNIQUE_SETS = [
+    TechniqueSet.NONE,
+    TechniqueSet.POWER_CONTROL,
+    TechniqueSet.MULTIRATE,
+    TechniqueSet.ALL,
+]
+
+
+def random_rss(rng, n):
+    """Log-uniform RSS spanning the paper's 3-45 dB SNR workload."""
+    return 10.0 ** rng.uniform(-13.0, -5.0, size=n)
+
+
+class TestBatchEquivalence:
+    """The vectorised kernels must match the scalar path bit for bit —
+    the scheduler's fast cost graph is only sound if no rounding
+    difference can creep in (PR-1 convention: golden equivalence)."""
+
+    @pytest.mark.parametrize("techniques", ALL_TECHNIQUE_SETS,
+                             ids=lambda t: str(t))
+    @pytest.mark.parametrize("sic_enabled", [True, False])
+    def test_pair_batch_bit_identical(self, channel, rng, techniques,
+                                      sic_enabled):
+        rss_a = random_rss(rng, 200)
+        rss_b = random_rss(rng, 200)
+        batch = pair_airtime_batch(channel, L, rss_a, rss_b,
+                                   techniques=techniques,
+                                   sic_enabled=sic_enabled)
+        scalar = [pair_airtime(channel, L, a, b, techniques=techniques,
+                               sic_enabled=sic_enabled).airtime_s
+                  for a, b in zip(rss_a, rss_b)]
+        assert batch.tolist() == scalar  # exact, not approx
+
+    def test_solo_batch_bit_identical(self, channel, rng):
+        rss = random_rss(rng, 200)
+        batch = solo_airtime_batch(channel, L, rss)
+        scalar = [solo_airtime(channel, L, r) for r in rss]
+        assert batch.tolist() == scalar  # exact, not approx
+
+    def test_pair_batch_handles_extreme_asymmetry(self, channel):
+        rss_a = np.array([1e-5, 1e-13, 1e-9])
+        rss_b = np.array([1e-13, 1e-5, 1e-9])
+        batch = pair_airtime_batch(channel, L, rss_a, rss_b,
+                                   techniques=TechniqueSet.ALL)
+        scalar = [pair_airtime(channel, L, a, b,
+                               techniques=TechniqueSet.ALL).airtime_s
+                  for a, b in zip(rss_a, rss_b)]
+        assert batch.tolist() == scalar
+
+    def test_pair_batch_rejects_nonpositive_rss(self, channel):
+        with pytest.raises(ValueError):
+            pair_airtime_batch(channel, L, np.array([1e-9, 0.0]),
+                               np.array([1e-9, 1e-9]))
+
+    def test_solo_batch_rejects_nonpositive_rss(self, channel):
+        with pytest.raises(ValueError):
+            solo_airtime_batch(channel, L, np.array([1e-9, -1e-9]))
+
+    def test_empty_batches(self, channel):
+        empty = np.array([])
+        assert pair_airtime_batch(channel, L, empty, empty).size == 0
+        assert solo_airtime_batch(channel, L, empty).size == 0

@@ -1,0 +1,99 @@
+"""PhaseTimer — scheduler performance observability plumbing."""
+
+import pytest
+
+from repro.util.timing import PhaseTimer, maybe_phase
+
+
+class FakeClock:
+    """Deterministic clock: each read returns the next scripted tick."""
+
+    def __init__(self, *ticks):
+        self.ticks = list(ticks)
+
+    def __call__(self):
+        return self.ticks.pop(0)
+
+
+class TestPhaseTimer:
+    def test_single_phase_accumulates_elapsed(self):
+        timer = PhaseTimer(clock=FakeClock(1.0, 3.5))
+        with timer.phase("matching"):
+            pass
+        assert timer.total_s("matching") == pytest.approx(2.5)
+        assert timer.count("matching") == 1
+
+    def test_repeated_phase_accumulates(self):
+        timer = PhaseTimer(clock=FakeClock(0.0, 1.0, 10.0, 12.0))
+        for _ in range(2):
+            with timer.phase("cost_build"):
+                pass
+        assert timer.total_s("cost_build") == pytest.approx(3.0)
+        assert timer.count("cost_build") == 2
+
+    def test_unentered_phase_reads_zero(self):
+        timer = PhaseTimer()
+        assert timer.total_s("never") == 0.0
+        assert timer.count("never") == 0
+
+    def test_phase_charged_even_when_body_raises(self):
+        timer = PhaseTimer(clock=FakeClock(0.0, 4.0))
+        with pytest.raises(RuntimeError):
+            with timer.phase("assembly"):
+                raise RuntimeError("boom")
+        assert timer.total_s("assembly") == pytest.approx(4.0)
+        assert timer.count("assembly") == 1
+
+    def test_phases_snapshot_preserves_first_seen_order(self):
+        timer = PhaseTimer(clock=FakeClock(0, 1, 1, 2, 2, 3))
+        for name in ("cost_build", "matching", "cost_build"):
+            with timer.phase(name):
+                pass
+        assert list(timer.phases) == ["cost_build", "matching"]
+        assert timer.phases["cost_build"] == pytest.approx(2.0)
+
+    def test_phases_snapshot_is_a_copy(self):
+        timer = PhaseTimer(clock=FakeClock(0.0, 1.0))
+        with timer.phase("matching"):
+            pass
+        snapshot = timer.phases
+        snapshot["matching"] = 99.0
+        assert timer.total_s("matching") == pytest.approx(1.0)
+
+    def test_as_dict_is_json_shaped(self):
+        timer = PhaseTimer(clock=FakeClock(0.0, 2.0))
+        with timer.phase("matching"):
+            pass
+        assert timer.as_dict() == {
+            "matching": {"total_s": pytest.approx(2.0), "count": 1.0}
+        }
+
+    def test_reset_clears_everything(self):
+        timer = PhaseTimer(clock=FakeClock(0.0, 2.0))
+        with timer.phase("matching"):
+            pass
+        timer.reset()
+        assert timer.total_s("matching") == 0.0
+        assert timer.count("matching") == 0
+        assert timer.phases == {}
+
+    def test_real_clock_measures_nonnegative(self):
+        timer = PhaseTimer()
+        with timer.phase("noop"):
+            pass
+        assert timer.total_s("noop") >= 0.0
+
+
+class TestMaybePhase:
+    def test_none_timer_is_a_noop(self):
+        ran = []
+        with maybe_phase(None, "matching"):
+            ran.append(True)
+        assert ran == [True]
+
+    def test_timer_records_through_maybe_phase(self):
+        timer = PhaseTimer(clock=FakeClock(0.0, 1.5))
+        with maybe_phase(timer, "matching"):
+            pass
+        assert timer.total_s("matching") == pytest.approx(1.5)
+        assert timer.count("matching") == 1
