@@ -14,6 +14,9 @@ from typing import Callable, List
 SAMPLES_ENV = "REPRO_BENCH_SAMPLES"
 FULL_SAMPLES = 10_000
 
+TRACE_SNAPSHOTS_ENV = "REPRO_BENCH_TRACE_SNAPSHOTS"
+FULL_TRACE_SNAPSHOTS = 600
+
 
 def bench_samples() -> int:
     """Monte-Carlo draws per bench (``REPRO_BENCH_SAMPLES`` overrides).
@@ -28,6 +31,21 @@ def bench_samples() -> int:
 def at_full_scale() -> bool:
     """True when benches run at the paper's 10 000-draw evaluation scale."""
     return bench_samples() >= FULL_SAMPLES
+
+
+def bench_trace_snapshots() -> int:
+    """Busy-snapshot cap for the trace benches.
+
+    Defaults to the 600 snapshots of the full two-week Fig. 13 run;
+    ``REPRO_BENCH_TRACE_SNAPSHOTS`` shrinks it for CI smoke runs (the
+    trace benches relax their speedup floors below full scale).
+    """
+    return int(os.environ.get(TRACE_SNAPSHOTS_ENV, FULL_TRACE_SNAPSHOTS))
+
+
+def at_full_trace_scale() -> bool:
+    """True when trace benches run the full 600-snapshot evaluation."""
+    return bench_trace_snapshots() >= FULL_TRACE_SNAPSHOTS
 
 
 def run_once(benchmark, fn: Callable, **kwargs):

@@ -9,22 +9,42 @@ added, and "the trends are similar to the results shown in Fig. 11a".
 
 We run the identical pipeline over the synthetic building trace (see
 DESIGN.md for the substitution argument).
+
+Fast path (``docs/trace_performance.md``): the trace comes from the
+vectorised generator, the busy snapshots fan out across worker
+processes through the supervised indexed runner (retry/backoff,
+checkpoint/resume and the ``REPRO_CACHE_DIR`` result cache included),
+and each snapshot's backlog is costed once and shared by all three
+technique sets.  :func:`compute_scalar` freezes the historical serial
+pipeline as the golden reference and the benchmark baseline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.experiments.runner import (
+    ExecutionPolicy,
+    run_indexed,
+    seed_cache_token,
+)
 from repro.phy.noise import thermal_noise_watts
 from repro.phy.shannon import Channel
-from repro.scheduling.scheduler import SicScheduler, UploadClient
-from repro.techniques.pairing import TechniqueSet
+from repro.scheduling.scheduler import BacklogCosts, SicScheduler, UploadClient
+from repro.techniques.pairing import (
+    TechniqueSet,
+    pair_airtime_batch,
+    solo_airtime_batch,
+)
 from repro.traces.records import UploadTrace
 from repro.traces.synthetic import UploadTraceConfig, UploadTraceGenerator
+from repro.util.cache import ResultCache
 from repro.util.cdf import gain_cdf_summary
 from repro.util.rng import SeedLike
+from repro.util.timing import PhaseTimer, maybe_phase
 
 DEFAULT_BANDWIDTH_HZ = 20e6
 
@@ -35,13 +55,118 @@ TECHNIQUE_SETS = {
     "pairing+multirate": TechniqueSet.MULTIRATE,
 }
 
+#: Snapshots per chunk — fixed (not derived from ``n_workers``) so the
+#: chunk layout, and with it every cache and checkpoint key, is
+#: identical for serial and parallel runs of the same evaluation.
+SNAPSHOT_CHUNK = 64
+
+
+def snapshot_clients(snapshot) -> List[UploadClient]:
+    """The backlog of one association snapshot, built once per snapshot
+    and shared across technique sets (it used to be rebuilt per
+    scheduler)."""
+    return [UploadClient(obs.client, obs.rss_w)
+            for obs in snapshot.clients]
+
 
 def snapshot_gain(scheduler: SicScheduler, snapshot) -> float:
     """Upload gain of one association snapshot (serial / scheduled)."""
-    clients = [UploadClient(obs.client, obs.rss_w)
-               for obs in snapshot.clients]
-    schedule = scheduler.schedule(clients)
+    schedule = scheduler.schedule(snapshot_clients(snapshot))
     return schedule.gain
+
+
+def _technique_schedulers(bandwidth_hz: float,
+                          packet_bits: float) -> Dict[str, SicScheduler]:
+    channel = Channel(bandwidth_hz=bandwidth_hz,
+                      noise_w=thermal_noise_watts(bandwidth_hz))
+    return {label: SicScheduler(channel=channel, packet_bits=packet_bits,
+                                techniques=techniques)
+            for label, techniques in TECHNIQUE_SETS.items()}
+
+
+@dataclass(frozen=True)
+class _SnapshotBatch:
+    """Picklable chunk config: the busy snapshots' backlogs."""
+
+    #: Per snapshot: ``((client_name, rss_w), ...)`` in snapshot order.
+    backlogs: Tuple[Tuple[Tuple[str, float], ...], ...]
+    bandwidth_hz: float
+    packet_bits: float
+
+
+def _fig13_chunk(batch: _SnapshotBatch, start: int,
+                 n: int) -> Dict[str, np.ndarray]:
+    """Evaluate snapshots ``[start, start + n)`` for all three curves.
+
+    Work sharing, per the fast-path design: solo airtimes and the
+    triangular pair-airtime arrays of *all* snapshots in the chunk are
+    computed in one ``solo_airtime_batch`` call plus one
+    ``pair_airtime_batch`` call per technique set (both pinned
+    element-identical to their scalar counterparts, and elementwise, so
+    slicing the concatenation equals the per-snapshot calls); each
+    snapshot's backlog and :class:`BacklogCosts` are then built once
+    and shared by the three schedulers through
+    :meth:`~repro.scheduling.scheduler.SicScheduler.schedule_gain`.
+    """
+    schedulers = _technique_schedulers(batch.bandwidth_hz,
+                                       batch.packet_bits)
+    shared = next(iter(schedulers.values()))
+    channel, packet_bits = shared.channel, shared.packet_bits
+    backlogs = batch.backlogs[start:start + n]
+    rss_arrays = [np.fromiter((rss for _, rss in backlog), dtype=float,
+                              count=len(backlog)) for backlog in backlogs]
+
+    # One batched costing over the whole chunk, sliced per snapshot.
+    pair_keys_of: Dict[int, List[Tuple[int, int]]] = {}
+    triu_of: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    a_parts: List[np.ndarray] = []
+    b_parts: List[np.ndarray] = []
+    for rss in rss_arrays:
+        m = len(rss)
+        if m not in triu_of:
+            ii, jj = np.triu_indices(m, k=1)
+            triu_of[m] = (ii, jj)
+            pair_keys_of[m] = list(zip(ii.tolist(), jj.tolist()))
+        ii, jj = triu_of[m]
+        a_parts.append(rss[ii])
+        b_parts.append(rss[jj])
+    all_a = np.concatenate(a_parts) if a_parts else np.empty(0)
+    all_b = np.concatenate(b_parts) if b_parts else np.empty(0)
+    all_rss = np.concatenate(rss_arrays) if rss_arrays else np.empty(0)
+    all_solos = solo_airtime_batch(channel, packet_bits, all_rss)
+    all_airtimes = {
+        label: pair_airtime_batch(channel, packet_bits, all_a, all_b,
+                                  techniques=scheduler.techniques,
+                                  sic_enabled=scheduler.sic_enabled)
+        for label, scheduler in schedulers.items()
+    }
+
+    out = {label: np.empty(n) for label in schedulers}
+    client_at = pair_at = 0
+    for k, backlog in enumerate(backlogs):
+        m = len(backlog)
+        n_pairs = len(pair_keys_of[m])
+        clients = [UploadClient(name, rss) for name, rss in backlog]
+        solos = all_solos[client_at:client_at + m]
+        precomputed = BacklogCosts(
+            names=tuple(name for name, _ in backlog),
+            rss_w=rss_arrays[k],
+            solo_airtime_s=solos,
+            serial_time_s=float(sum(solos.tolist())))
+        dummy = m if m % 2 == 1 else None
+        for label, scheduler in schedulers.items():
+            # Same (costs, dummy) layout as ``build_cost_graph``.
+            airtimes = all_airtimes[label][pair_at:pair_at + n_pairs]
+            costs = dict(zip(pair_keys_of[m], airtimes.tolist()))
+            if dummy is not None:
+                for i, t in enumerate(solos.tolist()):
+                    costs[(i, dummy)] = t
+            out[label][k] = scheduler.schedule_gain(
+                clients, precomputed=precomputed,
+                cost_graph=(costs, dummy))
+        client_at += m
+        pair_at += n_pairs
+    return out
 
 
 def compute(trace: Optional[UploadTrace] = None,
@@ -49,15 +174,87 @@ def compute(trace: Optional[UploadTrace] = None,
             seed: SeedLike = 2010,
             packet_bits: float = 12_000.0,
             max_snapshots: Optional[int] = None,
+            *,
+            n_workers: int = 1,
+            chunk_size: Optional[int] = None,
+            cache: Optional[ResultCache] = None,
+            policy: Optional[ExecutionPolicy] = None,
+            timer: Optional[PhaseTimer] = None,
             ) -> Dict[str, Dict[str, object]]:
     """Per-technique gain distributions over the trace's busy snapshots.
 
     Pass a ``trace`` (e.g. read from JSONL) to evaluate existing data;
     otherwise a synthetic trace is generated from ``trace_config``.
+
+    Snapshot scheduling runs through
+    :func:`~repro.experiments.runner.run_indexed`: ``n_workers``
+    processes, ``policy`` fault handling, checkpoint/resume, and the
+    result cache (generated traces with cacheable seeds only) — with
+    results bit-identical to the serial path for any worker count.
+    ``timer`` splits wall-clock into ``trace_gen`` / ``scheduling`` /
+    ``assembly``.
     """
+    generated = trace is None
+    config = None
+    if generated:
+        config = trace_config or UploadTraceConfig()
+        with maybe_phase(timer, "trace_gen"):
+            trace = UploadTraceGenerator(config).generate(seed)
+    snapshots = trace.busy_snapshots(min_clients=2)
+    if max_snapshots is not None:
+        snapshots = snapshots[:max_snapshots]
+    if not snapshots:
+        raise ValueError("trace has no snapshots with >= 2 clients")
+
+    with maybe_phase(timer, "scheduling"):
+        batch = _SnapshotBatch(
+            backlogs=tuple(
+                tuple((obs.client, obs.rss_w) for obs in snap.clients)
+                for snap in snapshots),
+            bandwidth_hz=DEFAULT_BANDWIDTH_HZ,
+            packet_bits=packet_bits)
+        cache_key = None
+        if generated:
+            token = seed_cache_token(seed)
+            if token is not None:
+                cache_key = {"trace_config": asdict(config),
+                             "seed": token,
+                             "packet_bits": packet_bits,
+                             "max_snapshots": max_snapshots}
+        merged = run_indexed(
+            "fig13", _fig13_chunk, batch, len(snapshots),
+            code_version=1, cache_key=cache_key, n_workers=n_workers,
+            chunk_size=chunk_size if chunk_size is not None
+            else SNAPSHOT_CHUNK,
+            cache=cache, policy=policy)
+
+    with maybe_phase(timer, "assembly"):
+        results: Dict[str, Dict[str, object]] = {
+            label: {"gains": merged[label],
+                    "summary": gain_cdf_summary(merged[label])}
+            for label in TECHNIQUE_SETS
+        }
+        results["meta"] = {
+            "n_snapshots": len(snapshots),
+            "building": trace.building,
+            "trace_duration_s": trace.duration_s,
+        }
+    return results
+
+
+def compute_scalar(trace: Optional[UploadTrace] = None,
+                   trace_config: Optional[UploadTraceConfig] = None,
+                   seed: SeedLike = 2010,
+                   packet_bits: float = 12_000.0,
+                   max_snapshots: Optional[int] = None,
+                   ) -> Dict[str, Dict[str, object]]:
+    """The historical serial pipeline, behaviourally frozen (PR-1
+    convention): scalar trace generation, then one pass per technique
+    set rebuilding every snapshot's backlog from scratch.  Golden
+    reference and benchmark baseline for :func:`compute`."""
     if trace is None:
         config = trace_config or UploadTraceConfig()
-        trace = UploadTraceGenerator(config).generate(seed)
+        trace = UploadTraceGenerator(config).generate_scalar(seed)
     snapshots = trace.busy_snapshots(min_clients=2)
     if max_snapshots is not None:
         snapshots = snapshots[:max_snapshots]

@@ -150,7 +150,7 @@ def chunk_seeds(seed: SeedLike, n_chunks: int) -> List[SeedLike]:
     return list(spawn_seed_sequences(seed, n_chunks))
 
 
-def _seed_cache_token(
+def seed_cache_token(
         seed: SeedLike) -> Union[int, np.random.SeedSequence, None]:
     """A stable, hashable rendering of ``seed`` — or None if the seed
     cannot key a cache entry (OS entropy, stateful generators)."""
@@ -159,6 +159,20 @@ def _seed_cache_token(
     if isinstance(seed, np.random.SeedSequence) and seed.entropy is not None:
         return seed
     return None
+
+
+#: Backwards-compatible alias (pre-indexed-runner name).
+_seed_cache_token = seed_cache_token
+
+
+def chunk_starts(sizes: List[int]) -> List[int]:
+    """Start offsets of each chunk in the merged item order."""
+    starts: List[int] = []
+    offset = 0
+    for size in sizes:
+        starts.append(offset)
+        offset += size
+    return starts
 
 
 def _resolve_cache(cache: Optional[ResultCache]) -> ResultCache:
@@ -373,12 +387,87 @@ def run_chunked(engine: str, chunk_fn: ChunkFn, config, seed: SeedLike, *,
                              kwargs, policy, checkpoint)
     chunks = supervisor.run(n_workers)
 
-    merged = {name: np.concatenate([chunks[i][name]
-                                    for i in range(len(sizes))])
-              for name in chunks[0]}
+    merged = _merge_chunks(chunks, len(sizes))
     if key is not None:
         store.put(key, merged)
     return merged
+
+
+def run_indexed(engine: str, chunk_fn: ChunkFn, config, n_items: int, *,
+                code_version: int,
+                cache_key: Optional[Mapping[str, object]] = None,
+                n_workers: int = 1,
+                chunk_size: Optional[int] = None,
+                cache: Optional[ResultCache] = None,
+                kwargs: Optional[Mapping[str, object]] = None,
+                policy: Optional[ExecutionPolicy] = None) -> ChunkResult:
+    """Run an *indexed map* under supervision; return merged arrays.
+
+    The seeded-sweep counterpart of :func:`run_chunked` for workloads
+    whose randomness was already drawn: ``chunk_fn(config, start, n,
+    **kwargs)`` deterministically evaluates items ``[start, start + n)``
+    of a precomputed sequence (trace snapshots, scenario index tables)
+    and returns named arrays with ``n`` leading rows.  Chunks merge in
+    index order, so the result is **independent of chunking and worker
+    count** — the trace pipeline pins serial == parallel == cached
+    bit-identity on exactly this property.
+
+    Retry/backoff, pool rebuild/degradation, worker timeouts and
+    checkpoint/resume behave as in :func:`run_chunked`.  ``cache_key``
+    is the caller's description of what determines the items (e.g.
+    trace config + seed); when ``None`` the run is treated as
+    uncacheable — no result cache, no checkpoints.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    kwargs = dict(kwargs or {})
+    policy = policy if policy is not None else ExecutionPolicy.from_env()
+    sizes = chunk_sizes(n_items, chunk_size)
+    if not sizes:  # n_items == 0 with a finite chunk_size
+        sizes = [0]
+
+    run_key = None
+    if cache_key is not None:
+        run_key = {"engine": engine,
+                   "code_version": code_version,
+                   "mode": "indexed",
+                   "key": dict(cache_key),
+                   "chunk_sizes": sizes,
+                   "kwargs": kwargs}
+
+    store = _resolve_cache(cache)
+    key = run_key if store.enabled else None
+    if key is not None:
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+
+    checkpoint = None
+    if policy.checkpoint_dir is not None and run_key is not None:
+        checkpoint = CheckpointStore(policy.checkpoint_dir, run_key,
+                                     n_chunks=len(sizes))
+
+    # Start offsets ride in the supervisor's per-chunk seed slot: chunk
+    # i evaluates the pure function (config, starts[i], sizes[i]).
+    starts = chunk_starts(sizes)
+    supervisor = _Supervisor(engine, chunk_fn, config, starts, sizes,
+                             kwargs, policy, checkpoint)
+    chunks = supervisor.run(n_workers)
+
+    merged = _merge_chunks(chunks, len(sizes))
+    if key is not None:
+        store.put(key, merged)
+    return merged
+
+
+def _merge_chunks(chunks: Dict[int, ChunkResult],
+                  n_chunks: int) -> ChunkResult:
+    """Concatenate per-chunk arrays in index order."""
+    return {name: np.concatenate([chunks[i][name]
+                                  for i in range(n_chunks)])
+            for name in chunks[0]}
 
 
 def _config_key(config) -> Mapping[str, object]:

@@ -14,6 +14,13 @@ RPR304 is performance hygiene rather than determinism: a head pop on a
 Python list shifts every remaining element, so ``pop(0)`` inside a loop
 is accidentally quadratic — exactly the drain-the-queue shape the online
 scheduler runs per batch.  ``collections.deque.popleft`` is O(1).
+
+RPR305 is the shared-mutable-default trap, instance flavour: a default
+argument like ``config: UploadTraceConfig = UploadTraceConfig()`` is
+evaluated once at import and shared by every caller, so any mutation —
+or identity-sensitive caching — leaks across calls; frozen dataclasses
+merely hide the hazard until someone adds a mutable field.  Default to
+``None`` and construct inside.
 """
 
 from __future__ import annotations
@@ -184,3 +191,52 @@ class HeadPopInLoopRule(Rule):
                 ):
                     seen.add(id(node))
                     yield ctx.make_violation(node, self.code, self.summary)
+
+
+def _terminal_name(func: ast.expr) -> str:
+    """The rightmost name of a call target (``pkg.mod.Cls`` -> ``Cls``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+@register
+class InstanceDefaultArgumentRule(Rule):
+    """RPR305 — a class instance constructed as a parameter default.
+
+    ``def __init__(self, config: Config = Config())`` builds ONE
+    instance at import time and shares it across every call — the
+    classic mutable-default trap, which frozen dataclasses only
+    disguise (an added mutable field, cached property, or identity
+    check resurrects it).  The rule fires on any call to a
+    CamelCase-named constructor in a parameter default, in ``def``,
+    ``async def`` and ``lambda`` alike.  Module-level *constants* as
+    defaults (``rate_table=DOT11G``) are fine — no call, no fresh
+    instance; so are lowercase factory calls, which read as deliberate.
+    Default to ``None`` and construct inside the function.
+    """
+
+    code = "RPR305"
+    summary = (
+        "class instance as a parameter default is evaluated once and "
+        "shared by every call; default to None and construct inside"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults
+                            if d is not None)
+            for default in defaults:
+                for call in ast.walk(default):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    name = _terminal_name(call.func)
+                    if name[:1].isupper() and not name.isupper():
+                        yield ctx.make_violation(call, self.code,
+                                                 self.summary)

@@ -20,7 +20,7 @@ fading).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -119,7 +119,7 @@ class AdaptationTrace:
 
 def run_adaptation(adapter: ArfRateAdapter,
                    sinr_series: Sequence[float],
-                   error_model: PacketErrorModel = PacketErrorModel(),
+                   error_model: Optional[PacketErrorModel] = None,
                    packet_bits: float = 12_000.0,
                    rng: SeedLike = None,
                    target_success: float = 0.9) -> AdaptationTrace:
@@ -132,6 +132,9 @@ def run_adaptation(adapter: ArfRateAdapter,
     SINR (what an oracle adapter would have used).
     """
     check_positive("packet_bits", packet_bits)
+    # Constructed inside, never a default argument (lint RPR305).
+    error_model = error_model if error_model is not None \
+        else PacketErrorModel()
     generator = make_rng(rng)
     chosen: List[float] = []
     feasible: List[float] = []

@@ -64,8 +64,42 @@ class PropagationModel:
         power = self._apply_fading(power, rng)
         return float(power) if np.ndim(power) == 0 else power
 
+    def path_gain_batch(self, distance_m: np.ndarray) -> np.ndarray:
+        """Batched :meth:`path_gain`, bit-identical to per-element calls.
+
+        The default implementation delegates to :meth:`path_gain`;
+        models whose array formulation diverges from the scalar one
+        (1-ulp transcendental differences) override this with an
+        element-exact replay.
+        """
+        return np.asarray(self.path_gain(np.asarray(distance_m, dtype=float)),
+                          dtype=float)
+
+    def received_power_batch(self, tx_power_w: float,
+                             distance_m: np.ndarray,
+                             rng: Optional[np.random.Generator] = None,
+                             ) -> np.ndarray:
+        """Batched :meth:`received_power`, replaying the scalar path.
+
+        Evaluates a whole distance array in one call while remaining
+        **bit-identical, element for element and draw for draw**, to
+        calling :meth:`received_power` once per element in C order with
+        the same ``rng``.  The trace generators' fast paths route every
+        RSS matrix through here so their golden equivalence against the
+        frozen scalar generators reduces to this contract (pinned in
+        ``tests/phy/test_pathloss.py``).
+        """
+        check_positive("tx_power_w", tx_power_w)
+        gain = self.path_gain_batch(np.asarray(distance_m, dtype=float))
+        power = tx_power_w * gain
+        return self._apply_fading_batch(power, rng)
+
     def _apply_fading(self, power_w: np.ndarray,
                       rng: Optional[np.random.Generator]) -> np.ndarray:
+        return power_w
+
+    def _apply_fading_batch(self, power_w: np.ndarray,
+                            rng: Optional[np.random.Generator]) -> np.ndarray:
         return power_w
 
 
@@ -119,6 +153,35 @@ class LogDistancePathLoss(PropagationModel):
             gain = np.where(near, near_gain, gain)
         return float(gain) if np.ndim(gain) == 0 else gain
 
+    def path_gain_batch(self, distance_m: np.ndarray) -> np.ndarray:
+        """Element-exact replay of the scalar :meth:`path_gain`.
+
+        A scalar call funnels ``ratio`` through a numpy *scalar*
+        (``np.maximum`` on a 0-d array returns one), so its power law is
+        evaluated by the scalar libm ``pow``; numpy's array ``**`` uses
+        a SIMD loop that rounds differently by 1 ulp on ~5 % of inputs.
+        The power law therefore runs per element through Python's
+        ``float.__pow__`` (same libm path as the numpy scalar); every
+        other operation (multiply, divide, maximum) rounds identically
+        in array and scalar form and stays vectorised.
+        """
+        d = np.asarray(distance_m, dtype=float)
+        if np.any(d <= 0.0):
+            raise ValueError("distance must be positive")
+        ref = self.reference_distance_m
+        g0 = free_space_path_gain(ref, self.frequency_hz)
+        ratio = np.maximum(d, ref) / ref
+        neg_exponent = -self.exponent
+        decay = np.array([r ** neg_exponent for r in ratio.ravel().tolist()],
+                         dtype=float).reshape(d.shape)
+        gain = g0 * decay
+        near = d < ref
+        if np.any(near):
+            near_gain = free_space_path_gain(np.where(near, d, ref),
+                                             self.frequency_hz)
+            gain = np.where(near, near_gain, gain)
+        return np.asarray(gain, dtype=float)
+
     def _apply_fading(self, power_w: np.ndarray,
                       rng: Optional[np.random.Generator]) -> np.ndarray:
         if self.shadowing_sigma_db <= 0.0:
@@ -128,6 +191,27 @@ class LogDistancePathLoss(PropagationModel):
                 "shadowing_sigma_db > 0 requires an rng in received_power()"
             )
         shadow_db = rng.normal(0.0, self.shadowing_sigma_db, size=np.shape(power_w))
+        return power_w * np.asarray(db_to_linear(shadow_db), dtype=float)
+
+    def _apply_fading_batch(self, power_w: np.ndarray,
+                            rng: Optional[np.random.Generator]) -> np.ndarray:
+        """One block normal draw replaces the per-element draws.
+
+        A ``Generator.normal(size=(n, m))`` block consumes the bit
+        stream exactly as ``n * m`` sequential ``size=()`` draws do, so
+        the shadowing realisation matches the scalar loop draw for
+        draw; ``db_to_linear`` (base-10 exponential) rounds identically
+        in array and scalar form.
+        """
+        if self.shadowing_sigma_db <= 0.0:
+            return power_w
+        if rng is None:
+            raise ValueError(
+                "shadowing_sigma_db > 0 requires an rng in "
+                "received_power_batch()"
+            )
+        shadow_db = rng.normal(0.0, self.shadowing_sigma_db,
+                               size=np.shape(power_w))
         return power_w * np.asarray(db_to_linear(shadow_db), dtype=float)
 
 

@@ -15,6 +15,7 @@ from repro.scheduling.matching import (
     min_weight_perfect_matching,
 )
 from repro.scheduling.scheduler import (
+    BacklogCosts,
     Schedule,
     ScheduledSlot,
     SicScheduler,
@@ -41,6 +42,7 @@ from repro.scheduling.online import (
 __all__ = [
     "ArrivalClient",
     "BacklogClient",
+    "BacklogCosts",
     "GroupSchedule",
     "Schedule",
     "ScheduledSlot",

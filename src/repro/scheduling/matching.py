@@ -67,6 +67,28 @@ Edge = Tuple[int, int, float]
 _INT64_SAFE_WEIGHT = 2 ** 60
 
 
+def _enumerate_perfect_matchings(
+        vertices: Tuple[int, ...]) -> List[Tuple[Tuple[int, int], ...]]:
+    """All perfect matchings of a complete graph on ``vertices``."""
+    if not vertices:
+        return [()]
+    first, rest = vertices[0], vertices[1:]
+    matchings: List[Tuple[Tuple[int, int], ...]] = []
+    for k, partner in enumerate(rest):
+        remaining = rest[:k] + rest[k + 1:]
+        for sub in _enumerate_perfect_matchings(remaining):
+            matchings.append(((first, partner),) + sub)
+    return matchings
+
+
+#: Complete graphs this small are solved by enumeration (1, 3 and 15
+#: candidate matchings) instead of the blossom machinery — the trace
+#: scheduler's snapshots are overwhelmingly 2-6 vertices.
+_SMALL_PERFECT_MATCHINGS = {
+    n: _enumerate_perfect_matchings(tuple(range(n))) for n in (2, 4, 6)
+}
+
+
 def max_weight_matching(edges: Sequence[Edge],
                         maxcardinality: bool = False,
                         debug: bool = False) -> List[int]:
@@ -760,6 +782,49 @@ def max_weight_matching(edges: Sequence[Edge],
     return mate
 
 
+def _small_complete_matching(
+        costs: Dict[Tuple[int, int], float],
+        n_vertices: int,
+        candidates: List[Tuple[Tuple[int, int], ...]],
+) -> Optional[Set[Tuple[int, int]]]:
+    """Enumerate the perfect matchings of a tiny complete graph.
+
+    Returns the matching :func:`min_weight_perfect_matching` would
+    return, computed without the blossom machinery: quantise the costs
+    onto the same integer grid and pick the candidate with the unique
+    smallest integral total.  On a tie (possible only when two
+    matchings agree to one part in 1e12) returns ``None`` so the caller
+    falls through to the blossom path, whose tie-break this shortcut
+    must not second-guess.
+    """
+    max_cost = 0.0
+    for (i, j), cost in costs.items():
+        if not 0 <= i < j < n_vertices:
+            raise ValueError(f"bad pair ({i}, {j}) for {n_vertices} vertices")
+        if cost < 0.0:
+            worst = min(costs.values())
+            raise ValueError(f"costs must be non-negative, got {worst}")
+        if cost > max_cost:
+            max_cost = cost
+    grid = max_cost / 1e12 if max_cost > 0.0 else 1.0
+    # ``round`` is half-to-even, exactly like the ``np.rint`` grid of
+    # the blossom path below.
+    int_costs = {pair: int(round(cost / grid))
+                 for pair, cost in costs.items()}
+    best: Optional[Tuple[Tuple[int, int], ...]] = None
+    best_total = 0
+    tied = False
+    for candidate in candidates:
+        total = sum(int_costs[pair] for pair in candidate)
+        if best is None or total < best_total:
+            best, best_total, tied = candidate, total, False
+        elif total == best_total:
+            tied = True
+    if tied or best is None:
+        return None
+    return set(best)
+
+
 def min_weight_perfect_matching(
         costs: Dict[Tuple[int, int], float],
         n_vertices: int,
@@ -775,13 +840,24 @@ def min_weight_perfect_matching(
     Implementation: quantise the costs onto an integer grid (one
     vectorised pass), transform cost -> (max + 1 - cost) so smaller
     cost means bigger weight, and run :func:`max_weight_matching` in
-    max-cardinality mode.
+    max-cardinality mode.  Complete graphs on 2/4/6 vertices (the bulk
+    of the trace scheduler's snapshots) are solved by enumerating their
+    1/3/15 perfect matchings on the same integer grid, falling back to
+    the blossom on a quantised tie — the returned matching is identical
+    either way.
     """
     if n_vertices % 2 != 0:
         raise ValueError(f"perfect matching needs an even vertex count, "
                          f"got {n_vertices}")
     if n_vertices == 0:
         return set()
+
+    if len(costs) == n_vertices * (n_vertices - 1) // 2:
+        candidates = _SMALL_PERFECT_MATCHINGS.get(n_vertices)
+        if candidates is not None:
+            small = _small_complete_matching(costs, n_vertices, candidates)
+            if small is not None:
+                return small
 
     edges: List[Edge] = []
     if costs:

@@ -128,6 +128,28 @@ class Schedule:
             raise ValueError(f"malformed schedule payload: {exc}") from exc
 
 
+@dataclass(frozen=True, eq=False)
+class BacklogCosts:
+    """Technique-independent per-backlog arrays, computed once.
+
+    Solo airtimes and the serial baseline depend only on
+    ``(channel, packet_bits, rss)`` — never on the technique set or on
+    ``sic_enabled`` — so one precompute serves every scheduler sharing
+    those (Fig. 13 evaluates three technique sets per snapshot against
+    the same backlog).  Built by :meth:`SicScheduler.precompute_costs`;
+    ``eq=False`` because ndarray fields break dataclass equality.
+    """
+
+    #: Client names, in backlog order.
+    names: Tuple[str, ...]
+    #: RSS at the AP (watts), in backlog order.
+    rss_w: np.ndarray
+    #: Solo transmit times (s), bit-identical to per-client ``solo_cost``.
+    solo_airtime_s: np.ndarray
+    #: Left-to-right sum of the solo airtimes (the no-SIC baseline).
+    serial_time_s: float
+
+
 @dataclass(frozen=True)
 class SicScheduler:
     """Builds optimal SIC-aware upload schedules via blossom matching.
@@ -163,10 +185,42 @@ class SicScheduler:
         """The no-SIC baseline: every client transmits alone, in turn."""
         return sum(self.solo_cost(c) for c in clients)
 
+    def precompute_costs(self,
+                         clients: Sequence[UploadClient]) -> BacklogCosts:
+        """Batch the technique-independent per-backlog arrays.
+
+        The result is valid for *any* scheduler with the same
+        ``channel`` and ``packet_bits``, whatever its ``techniques`` /
+        ``sic_enabled``; pass it to :meth:`schedule` as ``precomputed=``
+        to skip recomputing solo airtimes and the serial baseline.
+        Bit-identity with the scalar path holds because
+        ``solo_airtime_batch`` is pinned element-identical to
+        ``solo_airtime`` and the serial sum is the same left-to-right
+        float accumulation.
+        """
+        n = len(clients)
+        rss = np.fromiter((c.rss_w for c in clients), dtype=float, count=n)
+        solos = solo_airtime_batch(self.channel, self.packet_bits, rss)
+        return BacklogCosts(
+            names=tuple(c.name for c in clients),
+            rss_w=rss,
+            solo_airtime_s=solos,
+            serial_time_s=float(sum(solos.tolist())),
+        )
+
+    def _check_precomputed(self, clients: Sequence[UploadClient],
+                           precomputed: Optional[BacklogCosts],
+                           ) -> Optional[BacklogCosts]:
+        if precomputed is not None and \
+                precomputed.names != tuple(c.name for c in clients):
+            raise ValueError("precomputed costs do not match the backlog")
+        return precomputed
+
     # ------------------------------------------------------------------
 
     def build_cost_graph(
             self, clients: Sequence[UploadClient],
+            precomputed: Optional[BacklogCosts] = None,
     ) -> Tuple[Dict[Tuple[int, int], float], Optional[int]]:
         """The matching instance: pair costs plus an optional dummy node.
 
@@ -180,10 +234,11 @@ class SicScheduler:
         equivalence tests and the speedup benchmark.
         """
         n = len(clients)
+        pre = self._check_precomputed(clients, precomputed)
         costs: Dict[Tuple[int, int], float] = {}
         if n >= 2:
-            rss = np.fromiter((c.rss_w for c in clients), dtype=float,
-                              count=n)
+            rss = pre.rss_w if pre is not None else np.fromiter(
+                (c.rss_w for c in clients), dtype=float, count=n)
             ii, jj = np.triu_indices(n, k=1)
             airtimes = pair_airtime_batch(
                 self.channel, self.packet_bits, rss[ii], rss[jj],
@@ -193,10 +248,11 @@ class SicScheduler:
         dummy = None
         if n % 2 == 1:
             dummy = n
-            solos = solo_airtime_batch(
-                self.channel, self.packet_bits,
-                np.fromiter((c.rss_w for c in clients), dtype=float,
-                            count=n))
+            solos = pre.solo_airtime_s if pre is not None else \
+                solo_airtime_batch(
+                    self.channel, self.packet_bits,
+                    np.fromiter((c.rss_w for c in clients), dtype=float,
+                                count=n))
             for i, t in enumerate(solos.tolist()):
                 costs[(i, dummy)] = t
         return costs, dummy
@@ -220,33 +276,97 @@ class SicScheduler:
         return costs, dummy
 
     def schedule(self, clients: Sequence[UploadClient],
-                 timer: Optional[PhaseTimer] = None) -> Schedule:
+                 timer: Optional[PhaseTimer] = None,
+                 precomputed: Optional[BacklogCosts] = None) -> Schedule:
         """Compute the minimum-total-time schedule for the backlog.
 
         Pass a :class:`~repro.util.timing.PhaseTimer` to attribute the
         wall-clock time to the ``cost_build`` / ``matching`` /
-        ``assembly`` phases (accumulating across calls).
+        ``assembly`` phases (accumulating across calls).  ``precomputed``
+        (from :meth:`precompute_costs`, possibly on another scheduler
+        with the same channel and packet size) reuses the shared solo
+        airtimes and serial baseline; the schedule is bit-identical with
+        or without it.
         """
         if not clients:
             return Schedule(slots=(), serial_time_s=0.0)
         names = [c.name for c in clients]
         if len(set(names)) != len(names):
             raise ValueError(f"client names must be unique, got {names}")
+        pre = self._check_precomputed(clients, precomputed)
         if len(clients) == 1:
             only = clients[0]
-            solo = self.solo_cost(only)
+            solo = float(pre.solo_airtime_s[0]) if pre is not None \
+                else self.solo_cost(only)
             return Schedule(
                 slots=(ScheduledSlot((only.name,), solo, PairMode.SERIAL),),
                 serial_time_s=solo,
             )
 
         with maybe_phase(timer, "cost_build"):
-            costs, dummy = self.build_cost_graph(clients)
+            costs, dummy = self.build_cost_graph(clients, pre)
         n_vertices = len(clients) + (1 if dummy is not None else 0)
         with maybe_phase(timer, "matching"):
             matching = min_weight_perfect_matching(costs, n_vertices)
         with maybe_phase(timer, "assembly"):
-            return self._matching_to_schedule(clients, matching, dummy)
+            return self._matching_to_schedule(clients, matching, dummy, pre)
+
+    def schedule_gain(self, clients: Sequence[UploadClient],
+                      precomputed: Optional[BacklogCosts] = None,
+                      cost_graph: Optional[Tuple[Dict[Tuple[int, int], float],
+                                                 Optional[int]]] = None,
+                      ) -> float:
+        """The optimal schedule's gain, skipping slot assembly.
+
+        Bit-identical to ``self.schedule(clients, ...).gain``: the
+        chosen pairs' durations are read back from the cost graph
+        (``pair_airtime_batch`` is pinned element-identical to the
+        scalar ``pair_cost``) and the total accumulates in the same
+        slot order (pairs in matching order, then solos), so the
+        division ``serial / total`` sees the same floats.  Trace
+        evaluations (Fig. 13) call this per snapshot — they only plot
+        gain CDFs, so building :class:`ScheduledSlot` tuples and
+        re-costing the matched pairs for their modes is pure overhead.
+
+        ``cost_graph`` optionally supplies the ``(costs, dummy)``
+        matching instance (e.g. sliced out of a batched cost
+        computation); it must equal ``build_cost_graph(clients,
+        precomputed)``.
+        """
+        if not clients:
+            return 1.0  # Schedule((), 0.0).gain
+        names = [c.name for c in clients]
+        if len(set(names)) != len(names):
+            raise ValueError(f"client names must be unique, got {names}")
+        pre = self._check_precomputed(clients, precomputed)
+        if len(clients) == 1:
+            return 1.0  # solo / solo
+        costs, dummy = cost_graph if cost_graph is not None \
+            else self.build_cost_graph(clients, pre)
+        n_vertices = len(clients) + (1 if dummy is not None else 0)
+        matching = min_weight_perfect_matching(costs, n_vertices)
+        pair_keys: List[Tuple[int, int]] = []
+        solo: List[int] = []
+        for (i, j) in matching:
+            if dummy is not None and j == dummy:
+                solo.append(i)
+            elif dummy is not None and i == dummy:
+                solo.append(j)
+            else:
+                pair_keys.append((i, j))
+        total = 0.0
+        for key in pair_keys:
+            total += costs[key]
+        if solo:
+            solos = pre.solo_airtime_s.tolist() if pre is not None else None
+            for i in solo:
+                total += solos[i] if solos is not None \
+                    else self.solo_cost(clients[i])
+        if total <= 0.0:
+            return 1.0
+        serial = pre.serial_time_s if pre is not None \
+            else self.serial_time(clients)
+        return serial / total
 
     def schedule_scalar(self, clients: Sequence[UploadClient]) -> Schedule:
         """The pre-fast-path scheduling pipeline, end to end: scalar cost
@@ -273,8 +393,11 @@ class SicScheduler:
 
     def pairing_to_schedule(self, clients: Sequence[UploadClient],
                             pairs: Sequence[Tuple[int, int]],
-                            solo: Sequence[int] = ()) -> Schedule:
+                            solo: Sequence[int] = (),
+                            precomputed: Optional[BacklogCosts] = None,
+                            ) -> Schedule:
         """Cost out an explicit pairing (used by baselines and tests)."""
+        pre = self._check_precomputed(clients, precomputed)
         slots: List[ScheduledSlot] = []
         seen: List[int] = []
         for (i, j) in pairs:
@@ -283,17 +406,21 @@ class SicScheduler:
                                        cost.airtime_s, cost.mode))
             seen.extend((i, j))
         for i in solo:
-            slots.append(ScheduledSlot((clients[i].name,),
-                                       self.solo_cost(clients[i]),
+            duration = float(pre.solo_airtime_s[i]) if pre is not None \
+                else self.solo_cost(clients[i])
+            slots.append(ScheduledSlot((clients[i].name,), duration,
                                        PairMode.SERIAL))
             seen.append(i)
         if sorted(seen) != list(range(len(clients))):
             raise ValueError("pairing must cover every client exactly once")
-        return Schedule(slots=tuple(slots),
-                        serial_time_s=self.serial_time(clients))
+        serial = pre.serial_time_s if pre is not None \
+            else self.serial_time(clients)
+        return Schedule(slots=tuple(slots), serial_time_s=serial)
 
     def _matching_to_schedule(self, clients: Sequence[UploadClient],
-                              matching, dummy: Optional[int]) -> Schedule:
+                              matching, dummy: Optional[int],
+                              precomputed: Optional[BacklogCosts] = None,
+                              ) -> Schedule:
         pairs: List[Tuple[int, int]] = []
         solo: List[int] = []
         for (i, j) in matching:
@@ -303,4 +430,4 @@ class SicScheduler:
                 solo.append(j)
             else:
                 pairs.append((i, j))
-        return self.pairing_to_schedule(clients, pairs, solo)
+        return self.pairing_to_schedule(clients, pairs, solo, precomputed)

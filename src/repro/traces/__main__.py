@@ -23,6 +23,23 @@ from repro.traces.io import (
     write_upload_trace,
 )
 from repro.traces.synthetic import UploadTraceConfig, UploadTraceGenerator
+from repro.util.timing import PhaseTimer
+
+
+def _progress_printer(kind: str):
+    """A ``progress(done, total)`` hook printing coarse milestones."""
+    def progress(done: int, total: int) -> None:
+        if done == total or done % max(1, total // 4) == 0:
+            print(f"  {kind}: {done}/{total}", file=sys.stderr)
+
+    return progress
+
+
+def _timing_line(timer: PhaseTimer) -> str:
+    total = sum(timer.phases.values())
+    phases = ", ".join(f"{name} {seconds * 1e3:.0f} ms"
+                       for name, seconds in timer.phases.items())
+    return f"generated in {total * 1e3:.0f} ms ({phases})"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="path-loss exponent")
     upload.add_argument("--shadowing-db", type=float, default=6.0)
     upload.add_argument("--seed", type=int, default=2010)
+    upload.add_argument("--progress", action="store_true",
+                        help="print generation progress to stderr")
 
     downlink = sub.add_parser("downlink",
                               help="generate a downlink measurement "
@@ -49,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     downlink.add_argument("--aps", type=int, default=5)
     downlink.add_argument("--alpha", type=float, default=3.5)
     downlink.add_argument("--seed", type=int, default=2010)
+    downlink.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the rate "
+                               "measurements (results are identical "
+                               "for any count)")
+    downlink.add_argument("--progress", action="store_true",
+                          help="print generation progress to stderr")
 
     inspect = sub.add_parser("inspect",
                              help="summarise an existing trace file")
@@ -62,11 +87,15 @@ def _cmd_upload(args: argparse.Namespace) -> int:
                                peak_clients=args.peak_clients,
                                pathloss_exponent=args.alpha,
                                shadowing_sigma_db=args.shadowing_db)
-    trace = UploadTraceGenerator(config).generate(args.seed)
+    timer = PhaseTimer()
+    trace = UploadTraceGenerator(config).generate(
+        args.seed, timer=timer,
+        progress=_progress_printer("snapshots") if args.progress else None)
     write_upload_trace(trace, args.out)
     busy = len(trace.busy_snapshots(2))
     print(f"wrote {args.out}: {len(trace)} snapshots over "
           f"{trace.duration_s / 86400:.1f} days ({busy} with >= 2 clients)")
+    print(_timing_line(timer))
     return 0
 
 
@@ -74,10 +103,14 @@ def _cmd_downlink(args: argparse.Namespace) -> int:
     config = DownlinkTraceConfig(n_locations=args.locations,
                                  n_aps=args.aps,
                                  pathloss_exponent=args.alpha)
-    measurements = DownlinkTraceGenerator(config).generate(args.seed)
+    timer = PhaseTimer()
+    measurements = DownlinkTraceGenerator(config).generate(
+        args.seed, n_workers=args.workers, timer=timer,
+        progress=_progress_printer("locations") if args.progress else None)
     write_downlink_measurements(measurements, args.out)
     print(f"wrote {args.out}: {len(measurements)} locations x "
           f"{args.aps} APs")
+    print(_timing_line(timer))
     return 0
 
 

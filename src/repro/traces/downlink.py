@@ -13,12 +13,22 @@ This generator reproduces that dataset: APs along a corridor, random
 client locations, SNRs from the propagation substrate, and the two
 discrete-rate measurements emulated through the packet-error model with
 the same 90 % criterion.
+
+The fast path batches each location's per-AP shadowing draws and RSS
+row (:meth:`~repro.phy.pathloss.PropagationModel.received_power_batch`,
+bit-identical to the scalar per-link calls) and can fan the
+deterministic rate measurements out to worker processes through the
+supervised indexed runner; :meth:`DownlinkTraceGenerator.generate_scalar`
+is the frozen scalar reference.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.phy.error import PacketErrorModel
 from repro.phy.noise import thermal_noise_watts
@@ -28,8 +38,15 @@ from repro.topology.geometry import Point
 from repro.topology.nodes import DEFAULT_TX_POWER_W
 from repro.traces.records import DownlinkMeasurement
 from repro.util.rng import SeedLike, make_rng
+from repro.util.timing import PhaseTimer, maybe_phase
 from repro.util.units import db_to_linear, linear_to_db
 from repro.util.validation import check_positive
+
+#: ``progress(done, total)`` callback — e.g. the CLI's stderr meter.
+ProgressFn = Callable[[int, int], None]
+
+#: Locations per chunk when the rate measurement runs pooled.
+MEASURE_CHUNK_LOCATIONS = 25
 
 
 @dataclass(frozen=True)
@@ -59,15 +76,93 @@ class DownlinkTraceConfig:
             raise ValueError("target_success must be in (0, 1)")
 
 
+def _interference_pairs(
+        ap_names: Tuple[str, ...]) -> List[Tuple[str, str]]:
+    """(serving, interferer) keys in the measurement's serving-major
+    order — the iteration order of the scalar ``_measure_rates`` loop."""
+    return [(serving, interferer)
+            for serving in ap_names
+            for interferer in ap_names
+            if serving != interferer]
+
+
+def measure_rates(snr_db: Dict[str, float], rate_table: RateTable,
+                  error_model: PacketErrorModel, packet_bits: float,
+                  target_success: float) -> Tuple[
+                      Dict[str, float], Dict[Tuple[str, str], float]]:
+    """Emulate the 90 %-success bitrate measurements for one location.
+
+    Pure in its inputs, so the campaign's measurement phase can fan
+    locations out across worker processes without changing results.
+    """
+    clean: Dict[str, float] = {}
+    for ap, snr in snr_db.items():
+        clean[ap] = best_discrete_rate(
+            rate_table, float(db_to_linear(snr)),
+            error_model=error_model,
+            packet_bits=packet_bits,
+            target_success=target_success)
+    interfered: Dict[Tuple[str, str], float] = {}
+    for serving, serving_snr in snr_db.items():
+        for interferer, interferer_snr in snr_db.items():
+            if serving == interferer:
+                continue
+            # SINR of the serving AP while the interferer transmits:
+            # both SNRs share the same noise floor, so the linear
+            # SINR is s / (i + 1) in noise-normalised units.
+            s = float(db_to_linear(serving_snr))
+            i = float(db_to_linear(interferer_snr))
+            sinr = s / (i + 1.0)
+            interfered[(serving, interferer)] = best_discrete_rate(
+                rate_table, sinr,
+                error_model=error_model,
+                packet_bits=packet_bits,
+                target_success=target_success)
+    return clean, interfered
+
+
+@dataclass(frozen=True)
+class _MeasureBatch:
+    """Picklable chunk config for the pooled rate measurement."""
+
+    snr_rows: Tuple[Tuple[float, ...], ...]
+    ap_names: Tuple[str, ...]
+    rate_table: RateTable
+    error_model: PacketErrorModel
+    packet_bits: float
+    target_success: float
+
+
+def _measure_chunk(batch: _MeasureBatch, start: int, n: int) -> Dict[str, np.ndarray]:
+    """Rate-measure locations ``[start, start + n)`` of the campaign."""
+    n_aps = len(batch.ap_names)
+    pair_keys = _interference_pairs(batch.ap_names)
+    clean_rows = np.empty((n, n_aps))
+    interfered_rows = np.empty((n, len(pair_keys)))
+    for k in range(n):
+        snr_db = dict(zip(batch.ap_names, batch.snr_rows[start + k]))
+        clean, interfered = measure_rates(
+            snr_db, batch.rate_table, batch.error_model,
+            batch.packet_bits, batch.target_success)
+        clean_rows[k] = [clean[ap] for ap in batch.ap_names]
+        interfered_rows[k] = [interfered[key] for key in pair_keys]
+    return {"clean": clean_rows, "interfered": interfered_rows}
+
+
 class DownlinkTraceGenerator:
     """Generates per-location :class:`DownlinkMeasurement` records."""
 
-    def __init__(self, config: DownlinkTraceConfig = DownlinkTraceConfig(),
+    def __init__(self, config: Optional[DownlinkTraceConfig] = None,
                  rate_table: RateTable = DOT11G,
-                 error_model: PacketErrorModel = PacketErrorModel()):
-        self.config = config
+                 error_model: Optional[PacketErrorModel] = None):
+        # DOT11G is a shared module-level constant (immutable table), so
+        # it may stay a default; the config and error model are
+        # constructed inside (never default arguments — lint RPR305).
+        self.config = config = (config if config is not None
+                                else DownlinkTraceConfig())
         self.rate_table = rate_table
-        self.error_model = error_model
+        self.error_model = (error_model if error_model is not None
+                            else PacketErrorModel())
         self.noise_w = thermal_noise_watts(config.bandwidth_hz)
         spacing = config.corridor_length_m / (config.n_aps + 1)
         self.ap_positions: List[Tuple[str, Point]] = [
@@ -85,33 +180,93 @@ class DownlinkTraceGenerator:
             Dict[str, float], Dict[Tuple[str, str], float]]:
         """Emulate the 90 %-success bitrate measurements."""
         cfg = self.config
-        clean: Dict[str, float] = {}
-        for ap, snr in snr_db.items():
-            clean[ap] = best_discrete_rate(
-                self.rate_table, float(db_to_linear(snr)),
-                error_model=self.error_model,
-                packet_bits=cfg.packet_bits,
-                target_success=cfg.target_success)
-        interfered: Dict[Tuple[str, str], float] = {}
-        for serving, serving_snr in snr_db.items():
-            for interferer, interferer_snr in snr_db.items():
-                if serving == interferer:
-                    continue
-                # SINR of the serving AP while the interferer transmits:
-                # both SNRs share the same noise floor, so the linear
-                # SINR is s / (i + 1) in noise-normalised units.
-                s = float(db_to_linear(serving_snr))
-                i = float(db_to_linear(interferer_snr))
-                sinr = s / (i + 1.0)
-                interfered[(serving, interferer)] = best_discrete_rate(
-                    self.rate_table, sinr,
-                    error_model=self.error_model,
-                    packet_bits=cfg.packet_bits,
-                    target_success=cfg.target_success)
-        return clean, interfered
+        return measure_rates(snr_db, self.rate_table, self.error_model,
+                             cfg.packet_bits, cfg.target_success)
 
-    def generate(self, seed: SeedLike = None) -> List[DownlinkMeasurement]:
-        """Generate the full measurement campaign."""
+    def generate(self, seed: SeedLike = None, *,
+                 n_workers: int = 1,
+                 timer: Optional[PhaseTimer] = None,
+                 progress: Optional[ProgressFn] = None,
+                 policy: Optional[object] = None) -> List[DownlinkMeasurement]:
+        """Generate the full measurement campaign (fast path).
+
+        The SNR rows replay the scalar RNG stream draw for draw (two
+        scalar position draws, then one block shadowing draw per
+        location); the deterministic rate measurements run per location
+        — pooled across ``n_workers`` processes through the supervised
+        indexed runner when ``n_workers > 1``.  Results are
+        bit-identical to :meth:`generate_scalar` for any seed and any
+        worker count (pinned in ``tests/traces/test_downlink.py``).
+
+        ``timer`` phases: ``draw`` / ``measure`` / ``assemble``;
+        ``progress(done, total)`` tracks the measurement sweep.
+        ``policy`` is an
+        :class:`~repro.experiments.runner.ExecutionPolicy` for the
+        pooled path (retries, pool rebuilds, worker timeouts).
+        """
+        rng = make_rng(seed)
+        cfg = self.config
+        ap_names = tuple(name for name, _ in self.ap_positions)
+        ap_xy = [(pos.x, pos.y) for _, pos in self.ap_positions]
+        with maybe_phase(timer, "draw"):
+            snr_rows = np.empty((cfg.n_locations, len(ap_xy)))
+            for loc_idx in range(cfg.n_locations):
+                x = float(rng.uniform(0.0, cfg.corridor_length_m))
+                y = float(rng.uniform(0.0, cfg.corridor_depth_m))
+                distances = np.array(
+                    [max(math.hypot(x - ap_x, y - ap_y), 1.0)
+                     for ap_x, ap_y in ap_xy], dtype=float)
+                rss = self.propagation.received_power_batch(
+                    cfg.tx_power_w, distances, rng)
+                snr_rows[loc_idx] = np.asarray(
+                    linear_to_db(rss / self.noise_w), dtype=float)
+        with maybe_phase(timer, "measure"):
+            batch = _MeasureBatch(
+                snr_rows=tuple(tuple(row) for row in snr_rows.tolist()),
+                ap_names=ap_names, rate_table=self.rate_table,
+                error_model=self.error_model, packet_bits=cfg.packet_bits,
+                target_success=cfg.target_success)
+            if n_workers > 1:
+                # Local import: the runner lives in the experiments
+                # layer, which itself imports the trace generators.
+                from repro.experiments.runner import run_indexed
+                merged = run_indexed(
+                    "downlink_measure", _measure_chunk, batch,
+                    cfg.n_locations, code_version=1, cache_key=None,
+                    n_workers=n_workers,
+                    chunk_size=MEASURE_CHUNK_LOCATIONS, policy=policy)
+                clean_rows = merged["clean"]
+                interfered_rows = merged["interfered"]
+                if progress is not None:
+                    progress(cfg.n_locations, cfg.n_locations)
+            else:
+                clean_rows = np.empty((cfg.n_locations, len(ap_names)))
+                interfered_rows = np.empty(
+                    (cfg.n_locations, len(ap_names) * (len(ap_names) - 1)))
+                for loc_idx in range(cfg.n_locations):
+                    chunk = _measure_chunk(batch, loc_idx, 1)
+                    clean_rows[loc_idx] = chunk["clean"][0]
+                    interfered_rows[loc_idx] = chunk["interfered"][0]
+                    if progress is not None:
+                        progress(loc_idx + 1, cfg.n_locations)
+        with maybe_phase(timer, "assemble"):
+            pair_keys = _interference_pairs(ap_names)
+            measurements: List[DownlinkMeasurement] = []
+            for loc_idx in range(cfg.n_locations):
+                measurements.append(DownlinkMeasurement(
+                    location=f"L{loc_idx + 1}",
+                    snr_db=dict(zip(ap_names, snr_rows[loc_idx].tolist())),
+                    clean_rate_bps=dict(zip(
+                        ap_names, clean_rows[loc_idx].tolist())),
+                    interfered_rate_bps=dict(zip(
+                        pair_keys, interfered_rows[loc_idx].tolist())),
+                ))
+        return measurements
+
+    def generate_scalar(self, seed: SeedLike = None) -> List[DownlinkMeasurement]:
+        """The historical one-link-at-a-time campaign generator,
+        behaviourally frozen (PR-1 convention) as the golden reference
+        for :meth:`generate`."""
         rng = make_rng(seed)
         cfg = self.config
         measurements: List[DownlinkMeasurement] = []

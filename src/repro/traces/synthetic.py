@@ -24,15 +24,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.phy.pathloss import LogDistancePathLoss
 from repro.topology.geometry import Point, grid_points
 from repro.topology.nodes import DEFAULT_TX_POWER_W
 from repro.traces.records import ApSnapshot, ClientObservation, UploadTrace
 from repro.util.rng import SeedLike, make_rng
+from repro.util.timing import PhaseTimer, maybe_phase
 from repro.util.units import watts_to_dbm
 from repro.util.validation import check_positive
+
+#: ``progress(done, total)`` callback — e.g. the CLI's stderr meter.
+ProgressFn = Callable[[int, int], None]
 
 
 @dataclass(frozen=True)
@@ -87,8 +93,11 @@ def occupancy_factor(time_of_day_s: float, night_fraction: float) -> float:
 class UploadTraceGenerator:
     """Generates :class:`UploadTrace` objects from a config and a seed."""
 
-    def __init__(self, config: UploadTraceConfig = UploadTraceConfig()):
-        self.config = config
+    def __init__(self, config: Optional[UploadTraceConfig] = None):
+        # Constructed inside (never a default argument): a shared default
+        # instance is the mutable-default trap lint rule RPR305 flags.
+        self.config = config = (config if config is not None
+                                else UploadTraceConfig())
         spacing_x = config.width_m / (config.ap_cols + 1)
         spacing_y = config.height_m / (config.ap_rows + 1)
         # A slightly irregular grid: regular placement plus nothing else
@@ -104,8 +113,92 @@ class UploadTraceGenerator:
             shadowing_sigma_db=config.shadowing_sigma_db,
         )
 
-    def generate(self, seed: SeedLike = None) -> UploadTrace:
-        """Generate the full multi-day trace."""
+    def generate(self, seed: SeedLike = None,
+                 timer: Optional[PhaseTimer] = None,
+                 progress: Optional[ProgressFn] = None) -> UploadTrace:
+        """Generate the full multi-day trace (vectorised fast path).
+
+        Per snapshot, the client positions come from the same block
+        uniform draws the scalar loop made, the full clients x APs RSS
+        matrix resolves through one
+        :meth:`~repro.phy.pathloss.PropagationModel.received_power_batch`
+        call (block shadowing draw, element-exact power law), and the
+        strongest-AP association plus sensitivity clipping are array
+        operations.  The result — snapshot order, client names, every
+        RSSI float — is **bit-identical** to :meth:`generate_scalar`
+        for any seed (pinned in ``tests/traces/test_synthetic.py``).
+
+        ``timer`` attributes wall-clock to the ``draw`` / ``rss`` /
+        ``assemble`` phases; ``progress(done, total)`` is invoked after
+        every snapshot.
+        """
+        rng = make_rng(seed)
+        cfg = self.config
+        snapshots: List[ApSnapshot] = []
+        client_counter = 0
+        n_steps = cfg.n_snapshots
+        ap_names = [name for name, _ in self.ap_positions]
+        ap_xy = [(pos.x, pos.y) for _, pos in self.ap_positions]
+        n_aps = len(ap_xy)
+        for step in range(n_steps):
+            t = step * cfg.snapshot_interval_s
+            factor = occupancy_factor(t, cfg.night_fraction)
+            with maybe_phase(timer, "draw"):
+                n_active = int(rng.poisson(cfg.peak_clients * factor))
+                if n_active == 0:
+                    if progress is not None:
+                        progress(step + 1, n_steps)
+                    continue
+                xs = rng.uniform(0.0, cfg.width_m, size=n_active)
+                ys = rng.uniform(0.0, cfg.height_m, size=n_active)
+            with maybe_phase(timer, "rss"):
+                # math.hypot, not np.hypot: the scalar loop measures
+                # through Point.distance_to and np.hypot is 1 ulp off.
+                distances = np.empty((n_active, n_aps))
+                xs_list, ys_list = xs.tolist(), ys.tolist()
+                for k in range(n_active):
+                    xk, yk = xs_list[k], ys_list[k]
+                    row = distances[k]
+                    for a, (ap_x, ap_y) in enumerate(ap_xy):
+                        d = math.hypot(xk - ap_x, yk - ap_y)
+                        row[a] = d if d > 1.0 else 1.0
+                rss = self.propagation.received_power_batch(
+                    cfg.tx_power_w, distances, rng)
+                # argmax takes the first maximum — same winner as the
+                # scalar strict-> scan.
+                best = np.argmax(rss, axis=1)
+                best_rss = rss[np.arange(n_active), best]
+                rssi_dbm = np.asarray(watts_to_dbm(best_rss), dtype=float)
+                keep = rssi_dbm >= cfg.sensitivity_dbm
+            with maybe_phase(timer, "assemble"):
+                per_ap: dict = {name: [] for name in ap_names}
+                # Clipped clients still consume a name, as in the
+                # scalar loop.
+                name_base = client_counter
+                client_counter += n_active
+                best_list = best.tolist()
+                keep_list = keep.tolist()
+                rssi_list = rssi_dbm.tolist()
+                for k in range(n_active):
+                    if keep_list[k]:
+                        per_ap[ap_names[best_list[k]]].append(
+                            ClientObservation(f"c{name_base + k + 1}",
+                                              rssi_list[k]))
+                for ap_name, observations in per_ap.items():
+                    if observations:
+                        snapshots.append(ApSnapshot(
+                            ap=ap_name, timestamp_s=t,
+                            clients=tuple(observations)))
+            if progress is not None:
+                progress(step + 1, n_steps)
+        return UploadTrace(building=cfg.building,
+                           snapshot_interval_s=cfg.snapshot_interval_s,
+                           snapshots=tuple(snapshots))
+
+    def generate_scalar(self, seed: SeedLike = None) -> UploadTrace:
+        """The historical one-link-at-a-time generator, behaviourally
+        frozen (PR-1 convention) as the golden reference and the
+        benchmark baseline for :meth:`generate`."""
         rng = make_rng(seed)
         cfg = self.config
         snapshots: List[ApSnapshot] = []

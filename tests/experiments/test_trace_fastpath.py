@@ -1,0 +1,224 @@
+"""Fast-path trace evaluation: ``run_indexed`` and Fig. 13/14 goldens.
+
+The hard invariant mirrors the Monte-Carlo engines': chunk ``i`` of an
+indexed run is a pure function of ``(config, start i, size i)``, so the
+merged result is independent of chunking, worker count, caching and
+faults — and the figure pipelines built on top (``fig13.compute``,
+``fig14.compute``) must be bit-identical to their frozen ``*_scalar``
+references under every execution mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig13, fig14
+from repro.experiments.runner import (
+    ChunkExecutionError,
+    ExecutionPolicy,
+    run_indexed,
+)
+from repro.traces.downlink import DownlinkTraceConfig
+from repro.traces.synthetic import UploadTraceConfig, UploadTraceGenerator
+from repro.util.cache import ResultCache
+from repro.util.faults import FaultInjector, always_failing
+
+
+def _square_chunk(config, start, n, scale=1.0):
+    idx = np.arange(start, start + n, dtype=float)
+    return {"idx": idx, "sq": scale * idx * idx}
+
+
+def _counting_chunk(calls):
+    def chunk_fn(config, start, n):
+        calls.append((start, n))
+        return {"idx": np.arange(start, start + n, dtype=float)}
+
+    return chunk_fn
+
+
+class TestRunIndexed:
+    def test_maps_every_index_in_order(self):
+        out = run_indexed("eng", _square_chunk, None, 30,
+                          code_version=0, chunk_size=7)
+        assert np.array_equal(out["idx"], np.arange(30.0))
+        assert np.array_equal(out["sq"], np.arange(30.0) ** 2)
+
+    def test_chunking_invariance(self):
+        ref = run_indexed("eng", _square_chunk, None, 53,
+                          code_version=0, chunk_size=53)
+        for chunk_size in (1, 3, 8, 50, 200):
+            out = run_indexed("eng", _square_chunk, None, 53,
+                              code_version=0, chunk_size=chunk_size)
+            assert np.array_equal(out["sq"], ref["sq"]), chunk_size
+
+    def test_worker_invariance(self):
+        ref = run_indexed("eng", _square_chunk, None, 40,
+                          code_version=0, chunk_size=10)
+        out = run_indexed("eng", _square_chunk, None, 40,
+                          code_version=0, chunk_size=10, n_workers=3)
+        assert np.array_equal(out["idx"], ref["idx"])
+        assert np.array_equal(out["sq"], ref["sq"])
+
+    def test_zero_items(self):
+        out = run_indexed("eng", _square_chunk, None, 0,
+                          code_version=0, chunk_size=8)
+        assert out["idx"].shape == (0,)
+
+    def test_kwargs_forwarded(self):
+        out = run_indexed("eng", _square_chunk, None, 5,
+                          code_version=0, chunk_size=5,
+                          kwargs={"scale": 3.0})
+        assert np.array_equal(out["sq"], 3.0 * np.arange(5.0) ** 2)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_indexed("eng", _square_chunk, None, 5,
+                        code_version=0, n_workers=0)
+        with pytest.raises(ValueError):
+            run_indexed("eng", _square_chunk, None, -1, code_version=0)
+
+    def test_cache_round_trip(self, tmp_path):
+        calls = []
+        chunk_fn = _counting_chunk(calls)
+        cache = ResultCache(tmp_path)
+        key = {"seed": 1}
+        first = run_indexed("eng", chunk_fn, None, 12, code_version=0,
+                            chunk_size=4, cache_key=key, cache=cache)
+        assert calls == [(0, 4), (4, 4), (8, 4)]
+        calls.clear()
+        again = run_indexed("eng", chunk_fn, None, 12, code_version=0,
+                            chunk_size=4, cache_key=key, cache=cache)
+        assert calls == []  # served from cache, nothing recomputed
+        assert np.array_equal(again["idx"], first["idx"])
+
+    def test_cache_key_none_disables_cache(self, tmp_path):
+        calls = []
+        chunk_fn = _counting_chunk(calls)
+        cache = ResultCache(tmp_path)
+        for _ in range(2):
+            run_indexed("eng", chunk_fn, None, 6, code_version=0,
+                        chunk_size=3, cache=cache)
+        assert len(calls) == 4  # both runs computed every chunk
+
+    def test_identical_under_injected_faults(self):
+        ref = run_indexed("eng", _square_chunk, None, 24,
+                          code_version=0, chunk_size=6)
+        out = run_indexed(
+            "eng", _square_chunk, None, 24, code_version=0, chunk_size=6,
+            policy=ExecutionPolicy(faults=FaultInjector(
+                fail_first_attempts=1)))
+        assert np.array_equal(out["sq"], ref["sq"])
+
+    def test_interrupt_then_resume_recomputes_only_missing(self, tmp_path):
+        calls = []
+        chunk_fn = _counting_chunk(calls)
+        key = {"seed": 9}
+        ref = run_indexed("eng", chunk_fn, None, 20, code_version=0,
+                          chunk_size=5, cache_key=key)
+        assert len(calls) == 4
+        calls.clear()
+        with pytest.raises(ChunkExecutionError):
+            run_indexed("eng", chunk_fn, None, 20, code_version=0,
+                        chunk_size=5, cache_key=key,
+                        policy=ExecutionPolicy(
+                            checkpoint_dir=tmp_path,
+                            faults=always_failing("eng", 2)))
+        calls.clear()
+        out = run_indexed("eng", chunk_fn, None, 20, code_version=0,
+                          chunk_size=5, cache_key=key,
+                          policy=ExecutionPolicy(checkpoint_dir=tmp_path))
+        assert len(calls) == 2  # chunks 2 and 3; 0 and 1 from checkpoint
+        assert np.array_equal(out["idx"], ref["idx"])
+
+
+def assert_results_identical(a, b):
+    """Exact equality of a figure-result dict: gains, summaries, meta."""
+    assert set(a) == set(b)
+    for label in a:
+        if label == "meta":
+            assert a["meta"] == b["meta"]
+            continue
+        assert np.array_equal(a[label]["gains"], b[label]["gains"]), label
+        assert a[label]["summary"] == b[label]["summary"], label
+
+
+class TestFig13Golden:
+    CONFIG = UploadTraceConfig(duration_days=1.0)
+    KW = dict(trace_config=CONFIG, seed=2010, max_snapshots=60)
+
+    @pytest.fixture(scope="class")
+    def scalar(self):
+        return fig13.compute_scalar(**self.KW)
+
+    @pytest.fixture(scope="class")
+    def fast(self):
+        return fig13.compute(**self.KW)
+
+    def test_fast_equals_scalar(self, scalar, fast):
+        assert_results_identical(fast, scalar)
+
+    def test_parallel_equals_serial(self, fast):
+        assert_results_identical(
+            fig13.compute(**self.KW, n_workers=2), fast)
+
+    def test_chunk_size_invariant(self, fast):
+        assert_results_identical(
+            fig13.compute(**self.KW, chunk_size=7), fast)
+
+    def test_cached_equals_fresh(self, fast, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = fig13.compute(**self.KW, cache=cache)
+        second = fig13.compute(**self.KW, cache=cache)
+        assert_results_identical(first, fast)
+        assert_results_identical(second, fast)
+
+    def test_explicit_trace_equals_generated(self, fast):
+        trace = UploadTraceGenerator(self.CONFIG).generate(2010)
+        assert_results_identical(
+            fig13.compute(trace=trace, seed=2010, max_snapshots=60), fast)
+
+    def test_timer_covers_all_phases(self):
+        from repro.util.timing import PhaseTimer
+        timer = PhaseTimer()
+        fig13.compute(**self.KW, timer=timer)
+        assert list(timer.phases) == ["trace_gen", "scheduling", "assembly"]
+        assert all(t >= 0.0 for t in timer.phases.values())
+
+
+class TestFig14Golden:
+    KW = dict(trace_config=DownlinkTraceConfig(n_locations=20),
+              n_scenarios=300, seed=2010)
+
+    @pytest.fixture(scope="class")
+    def scalar(self):
+        return fig14.compute_scalar(**self.KW)
+
+    @pytest.fixture(scope="class")
+    def fast(self):
+        return fig14.compute(**self.KW)
+
+    def test_fast_equals_scalar(self, scalar, fast):
+        assert_results_identical(fast, scalar)
+
+    def test_parallel_equals_serial(self, fast):
+        assert_results_identical(
+            fig14.compute(**self.KW, n_workers=2), fast)
+
+    def test_chunk_size_invariant(self, fast):
+        assert_results_identical(
+            fig14.compute(**self.KW, chunk_size=37), fast)
+
+    def test_cached_equals_fresh(self, fast, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = fig14.compute(**self.KW, cache=cache)
+        second = fig14.compute(**self.KW, cache=cache)
+        assert_results_identical(first, fast)
+        assert_results_identical(second, fast)
+
+    def test_timer_covers_all_phases(self):
+        from repro.util.timing import PhaseTimer
+        timer = PhaseTimer()
+        fig14.compute(**self.KW, timer=timer)
+        assert list(timer.phases) == ["trace_gen", "draw", "evaluate",
+                                      "assembly"]
+        assert all(t >= 0.0 for t in timer.phases.values())

@@ -1,0 +1,57 @@
+"""Instance-default fixture (RPR305): shared constructor-call defaults."""
+
+from dataclasses import dataclass
+
+DEFAULT_TABLE = ("a", "b")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    width_m: float = 80.0
+
+
+class ErrorModel:
+    pass
+
+
+class Generator:
+    def __init__(self, config: TraceConfig = TraceConfig(),  # expect: RPR305
+                 error_model=ErrorModel()):  # expect: RPR305
+        self.config = config
+        self.error_model = error_model
+
+
+def run(settings=TraceConfig(width_m=40.0)):  # expect: RPR305
+    return settings
+
+
+def run_keyword_only(*, model=ErrorModel()):  # expect: RPR305
+    return model
+
+
+def run_nested(configs=(TraceConfig(),)):  # expect: RPR305
+    return configs
+
+
+make = lambda cfg=TraceConfig(): cfg  # noqa: E731  # expect: RPR305
+
+
+def run_fixed(config=None, table=DEFAULT_TABLE):
+    # Fine: None default constructed inside; module constant is no call.
+    return config if config is not None else TraceConfig(), table
+
+
+def run_factory(items=list()):
+    # Fine (for this rule): lowercase factory calls read as deliberate;
+    # CamelCase constructors are the trap this rule hunts.
+    return items
+
+
+def run_acronym(flags=FLAGS()):
+    # Fine: ALL-CAPS call targets are constants-by-convention, not
+    # class constructors.
+    return flags
+
+
+def FLAGS():
+    return 0

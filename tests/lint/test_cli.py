@@ -86,5 +86,6 @@ class TestRuleSelection:
             "RPR201",
             "RPR301",
             "RPR302",
+            "RPR305",
         ):
             assert code in out

@@ -93,6 +93,69 @@ class TestHeadPopFixture:
         assert lint_found(target) == {("RPR304", 3)}
 
 
+class TestInstanceDefaultFixture:
+    def test_exact_codes_and_lines(self):
+        path = FIXTURES / "bad_instance_default.py"
+        assert lint_found(path) == expected_markers(path)
+
+    def test_markers_cover_the_code(self):
+        codes = {
+            code
+            for code, _ in expected_markers(
+                FIXTURES / "bad_instance_default.py")
+        }
+        assert codes == {"RPR305"}
+
+    def test_constant_and_none_defaults_not_flagged(self):
+        # run_fixed()/run_factory()/run_acronym() defaults are fine; no
+        # violation may land on those lines.
+        path = FIXTURES / "bad_instance_default.py"
+        ok_lines = {
+            lineno
+            for lineno, text in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            )
+            if "def run_fixed" in text or "def run_factory" in text
+            or "def run_acronym" in text
+        }
+        assert ok_lines
+        assert not {
+            line for _, line in lint_found(path) if line in ok_lines
+        }
+
+    def test_fires_in_any_package(self, tmp_path):
+        # Like RPR304, no package gate: a shared default instance is a
+        # defect wherever it appears.
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "class Config:\n"
+            "    pass\n"
+            "def build(config=Config()):\n"
+            "    return config\n"
+        )
+        assert lint_found(target) == {("RPR305", 3)}
+
+    def test_dotted_constructor_flagged(self, tmp_path):
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "import repro.traces.synthetic as synth\n"
+            "def build(config=synth.UploadTraceConfig()):\n"
+            "    return config\n"
+        )
+        assert lint_found(target) == {("RPR305", 2)}
+
+    def test_call_argument_inside_default_flagged(self, tmp_path):
+        # The constructor hides inside a non-call default expression.
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "class Config:\n"
+            "    pass\n"
+            "def build(configs=[Config()]):\n"
+            "    return configs\n"
+        )
+        assert lint_found(target) == {("RPR305", 3)}
+
+
 class TestScopeOfRule:
     def test_wall_clock_fine_outside_result_pipelines(self, tmp_path):
         target = tmp_path / "tool.py"

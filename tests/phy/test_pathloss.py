@@ -96,6 +96,76 @@ class TestLogDistance:
         assert gains[0] > gains[1] > gains[2]
 
 
+class TestBatchGoldenEquivalence:
+    """``path_gain_batch`` / ``received_power_batch`` must be
+    bit-identical, element for element and draw for draw, to scalar
+    calls in C order — the contract the vectorized trace generators'
+    golden equivalence reduces to."""
+
+    def distances(self, rng, shape):
+        # Mix of near-field (< reference) and far-field distances.
+        return rng.uniform(0.3, 120.0, size=shape)
+
+    @pytest.mark.parametrize("exponent", [2.0, 3.5, 4.0])
+    def test_path_gain_batch_elementwise_identical(self, exponent):
+        model = LogDistancePathLoss(exponent=exponent)
+        rng = np.random.default_rng(42)
+        d = self.distances(rng, (7, 11))
+        batch = model.path_gain_batch(d)
+        assert batch.shape == d.shape
+        for idx in np.ndindex(d.shape):
+            assert batch[idx] == model.path_gain(float(d[idx]))
+
+    def test_free_space_batch_elementwise_identical(self):
+        model = FreeSpace()
+        rng = np.random.default_rng(1)
+        d = self.distances(rng, 40)
+        batch = model.path_gain_batch(d)
+        for k in range(d.size):
+            assert batch[k] == model.path_gain(float(d[k]))
+
+    def test_received_power_batch_no_shadowing(self):
+        model = LogDistancePathLoss(exponent=3.5)
+        rng = np.random.default_rng(2)
+        d = self.distances(rng, (5, 8))
+        batch = model.received_power_batch(0.1, d)
+        for idx in np.ndindex(d.shape):
+            assert batch[idx] == model.received_power(0.1, float(d[idx]))
+
+    def test_received_power_batch_replays_shadowing_stream(self):
+        # One block normal draw == per-element scalar draws in C order
+        # with the same generator state.
+        model = LogDistancePathLoss(exponent=3.5, shadowing_sigma_db=6.0)
+        d = self.distances(np.random.default_rng(3), (6, 9))
+        batch = model.received_power_batch(
+            0.1, d, np.random.default_rng(2010))
+        scalar_rng = np.random.default_rng(2010)
+        for idx in np.ndindex(d.shape):
+            assert batch[idx] == model.received_power(
+                0.1, float(d[idx]), scalar_rng)
+
+    def test_batch_leaves_rng_in_scalar_loop_state(self):
+        # The generators interleave batch draws with later scalar draws,
+        # so the post-call generator state must match the scalar loop's.
+        model = LogDistancePathLoss(shadowing_sigma_db=4.0)
+        d = np.full((3, 4), 20.0)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        model.received_power_batch(0.1, d, rng_a)
+        for idx in np.ndindex(d.shape):
+            model.received_power(0.1, float(d[idx]), rng_b)
+        assert rng_a.uniform() == rng_b.uniform()
+
+    def test_batch_errors_match_scalar(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=6.0)
+        with pytest.raises(ValueError):
+            model.path_gain_batch(np.array([10.0, 0.0]))
+        with pytest.raises(ValueError, match="rng"):
+            model.received_power_batch(0.1, np.array([10.0]))
+        with pytest.raises(ValueError):
+            model.received_power_batch(0.0, np.array([10.0]),
+                                       np.random.default_rng(0))
+
+
 class TestReceivedPowerHelper:
     def test_default_model_is_alpha4(self):
         direct = LogDistancePathLoss().received_power(0.1, 25.0)

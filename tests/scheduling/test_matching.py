@@ -261,6 +261,94 @@ class TestMinWeightPerfect:
             min_weight_perfect_matching(costs, 4)
 
 
+class TestSmallCompleteShortcut:
+    """Complete graphs on 2/4/6 vertices skip the blossom and enumerate
+    their perfect matchings; the answer must be indistinguishable from
+    the blossom path — including falling back to it on quantised ties
+    rather than second-guessing its tie-break."""
+
+    def test_enumeration_counts(self):
+        from repro.scheduling.matching import _SMALL_PERFECT_MATCHINGS
+        assert {n: len(m) for n, m in _SMALL_PERFECT_MATCHINGS.items()} \
+            == {2: 1, 4: 3, 6: 15}
+
+    def test_enumeration_is_perfect_and_distinct(self):
+        from repro.scheduling.matching import _SMALL_PERFECT_MATCHINGS
+        for n, matchings in _SMALL_PERFECT_MATCHINGS.items():
+            assert len({frozenset(m) for m in matchings}) == len(matchings)
+            for matching in matchings:
+                covered = sorted(v for pair in matching for v in pair)
+                assert covered == list(range(n))
+                assert all(i < j for (i, j) in matching)
+
+    def test_shortcut_agrees_with_scalar_blossom(self):
+        from repro.scheduling.matching import (
+            _SMALL_PERFECT_MATCHINGS,
+            _small_complete_matching,
+        )
+        rng = random.Random(17)
+        for _ in range(200):
+            n = rng.choice([2, 4, 6])
+            costs = {(i, j): rng.uniform(1e-5, 5e-4)
+                     for i, j in itertools.combinations(range(n), 2)}
+            small = _small_complete_matching(
+                costs, n, _SMALL_PERFECT_MATCHINGS[n])
+            if small is not None:
+                assert small == min_weight_perfect_matching_scalar(costs, n)
+
+    def test_tie_defers_to_blossom(self):
+        from repro.scheduling.matching import (
+            _SMALL_PERFECT_MATCHINGS,
+            _small_complete_matching,
+        )
+        # All-equal costs: every matching totals the same, so the
+        # shortcut must decline and let the blossom break the tie.
+        costs = {(i, j): 2.5e-4
+                 for i, j in itertools.combinations(range(4), 2)}
+        assert _small_complete_matching(
+            costs, 4, _SMALL_PERFECT_MATCHINGS[4]) is None
+        assert min_weight_perfect_matching(costs, 4) == \
+            min_weight_perfect_matching_scalar(costs, 4)
+
+    def test_structural_tie_serial_dominates(self):
+        # The trace scheduler's common tie: when SIC never wins, every
+        # pair cost is the sum of the solos, so ALL matchings tie and
+        # the blossom's tie-break is authoritative.
+        solos = [1.0e-4, 2.0e-4, 3.0e-4, 4.0e-4]
+        costs = {(i, j): solos[i] + solos[j]
+                 for i, j in itertools.combinations(range(4), 2)}
+        assert min_weight_perfect_matching(costs, 4) == \
+            min_weight_perfect_matching_scalar(costs, 4)
+
+    def test_incomplete_graph_skips_shortcut(self):
+        # A star on 4 vertices is not complete, so the length gate must
+        # route it to the blossom, which reports the stranded vertices.
+        costs = {(0, 1): 1.0, (0, 2): 2.0, (0, 3): 3.0}
+        with pytest.raises(ValueError, match="perfect"):
+            min_weight_perfect_matching(costs, 4)
+
+    def test_validation_matches_blossom_path(self):
+        from repro.scheduling.matching import (
+            _SMALL_PERFECT_MATCHINGS,
+            _small_complete_matching,
+        )
+        bad_pair = {(1, 0): 1.0}
+        with pytest.raises(ValueError, match="bad pair"):
+            _small_complete_matching(bad_pair, 2, _SMALL_PERFECT_MATCHINGS[2])
+        negative = {(0, 1): -1.0}
+        with pytest.raises(ValueError, match="non-negative"):
+            _small_complete_matching(negative, 2, _SMALL_PERFECT_MATCHINGS[2])
+
+    def test_small_sizes_end_to_end_match_scalar(self):
+        rng = random.Random(23)
+        for _ in range(120):
+            n = rng.choice([2, 4, 6])
+            costs = {(i, j): rng.uniform(1e-5, 5e-4)
+                     for i, j in itertools.combinations(range(n), 2)}
+            assert min_weight_perfect_matching(costs, n) == \
+                min_weight_perfect_matching_scalar(costs, n)
+
+
 class TestScalarGoldenEquivalence:
     """The array-accelerated blossom must reproduce the frozen scalar
     reference EXACTLY — same mate arrays, same chosen pairs — on every

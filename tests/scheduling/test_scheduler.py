@@ -205,6 +205,94 @@ class TestFastPathGoldenEquivalence:
             scheduler.schedule(clients, timer=None)
 
 
+class TestPrecomputedCosts:
+    """``precompute_costs`` batches the technique-independent arrays;
+    every consumer (``schedule``, ``schedule_gain``, ``build_cost_graph``)
+    must produce the exact same floats with and without it."""
+
+    def random_backlog(self, rng, n, channel):
+        snrs_db = rng.uniform(3.0, 45.0, size=n)
+        return make_clients([
+            float(10.0 ** (snr / 10.0)) * channel.noise_w
+            for snr in snrs_db])
+
+    def test_fields_match_scalar_costs(self, scheduler, channel, rng):
+        clients = self.random_backlog(rng, 9, channel)
+        pre = scheduler.precompute_costs(clients)
+        assert pre.names == tuple(c.name for c in clients)
+        assert pre.rss_w.tolist() == [c.rss_w for c in clients]
+        for i, client in enumerate(clients):
+            assert pre.solo_airtime_s[i] == scheduler.solo_cost(client)
+        assert pre.serial_time_s == scheduler.serial_time(clients)
+
+    def test_cost_graph_identical_with_precompute(self, scheduler, channel,
+                                                  rng):
+        for n in (2, 3, 7, 12):
+            clients = self.random_backlog(rng, n, channel)
+            pre = scheduler.precompute_costs(clients)
+            assert scheduler.build_cost_graph(clients, precomputed=pre) == \
+                scheduler.build_cost_graph(clients)
+
+    def test_schedule_identical_with_precompute(self, scheduler, channel,
+                                                rng):
+        for n in (2, 5, 8, 13):
+            clients = self.random_backlog(rng, n, channel)
+            pre = scheduler.precompute_costs(clients)
+            assert scheduler.schedule(clients, precomputed=pre).to_dict() \
+                == scheduler.schedule(clients).to_dict()
+
+    def test_schedule_gain_equals_full_schedule(self, channel, rng):
+        for techniques in (TechniqueSet.NONE, TechniqueSet.POWER_CONTROL,
+                           TechniqueSet.MULTIRATE, TechniqueSet.ALL):
+            sched = SicScheduler(channel=channel, techniques=techniques)
+            for n in (1, 2, 3, 5, 8, 13):
+                clients = self.random_backlog(rng, n, channel)
+                # Exact float equality, not approx: the gain path must
+                # accumulate the same floats in the same order.
+                assert sched.schedule_gain(clients) == \
+                    sched.schedule(clients).gain
+
+    def test_schedule_gain_with_precompute_and_cost_graph(self, scheduler,
+                                                          channel, rng):
+        for n in (2, 4, 7, 11):
+            clients = self.random_backlog(rng, n, channel)
+            pre = scheduler.precompute_costs(clients)
+            graph = scheduler.build_cost_graph(clients, precomputed=pre)
+            ref = scheduler.schedule(clients).gain
+            assert scheduler.schedule_gain(clients, precomputed=pre) == ref
+            assert scheduler.schedule_gain(clients, precomputed=pre,
+                                           cost_graph=graph) == ref
+
+    def test_precompute_shared_across_technique_sets(self, channel, rng):
+        # The arrays depend only on (channel, packet_bits), so ONE
+        # precompute must serve all three Fig. 13 technique sets.
+        clients = self.random_backlog(rng, 8, channel)
+        pre = SicScheduler(channel=channel).precompute_costs(clients)
+        for techniques in (TechniqueSet.NONE, TechniqueSet.POWER_CONTROL,
+                           TechniqueSet.MULTIRATE):
+            sched = SicScheduler(channel=channel, techniques=techniques)
+            assert sched.schedule(clients, precomputed=pre).to_dict() == \
+                sched.schedule(clients).to_dict()
+
+    def test_degenerate_backlogs(self, scheduler):
+        assert scheduler.schedule_gain([]) == 1.0
+        assert scheduler.schedule_gain(make_clients([1e-9])) == 1.0
+
+    def test_mismatched_precompute_rejected(self, scheduler, channel, rng):
+        clients = self.random_backlog(rng, 4, channel)
+        other = self.random_backlog(rng, 5, channel)
+        pre = scheduler.precompute_costs(other)
+        with pytest.raises(ValueError, match="precomputed"):
+            scheduler.schedule(clients, precomputed=pre)
+        with pytest.raises(ValueError, match="precomputed"):
+            scheduler.schedule_gain(clients, precomputed=pre)
+
+    def test_duplicate_names_rejected_by_gain_path(self, scheduler):
+        clients = [UploadClient("X", 1e-9), UploadClient("X", 1e-10)]
+        with pytest.raises(ValueError, match="unique"):
+            scheduler.schedule_gain(clients)
+
+
 class TestPairingToSchedule:
     def test_explicit_pairing(self, scheduler):
         clients = make_clients([1e-9, 1e-10, 1e-11])

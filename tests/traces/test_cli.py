@@ -23,6 +23,17 @@ class TestUploadCommand:
         assert read_upload_trace(a) == read_upload_trace(b)
 
 
+    def test_progress_and_timing_reported(self, tmp_path, capsys):
+        out = tmp_path / "building.jsonl"
+        rc = main(["upload", "--out", str(out), "--days", "0.25",
+                   "--seed", "3", "--progress"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "generated in" in captured.out  # PhaseTimer summary line
+        assert "draw" in captured.out and "rss" in captured.out
+        assert "snapshots: 24/24" in captured.err
+
+
 class TestDownlinkCommand:
     def test_generates_readable_campaign(self, tmp_path, capsys):
         out = tmp_path / "campaign.jsonl"
@@ -31,6 +42,25 @@ class TestDownlinkCommand:
         assert rc == 0
         measurements = read_downlink_measurements(out)
         assert len(measurements) == 10
+
+    def test_workers_do_not_change_the_campaign(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["downlink", "--out", str(a), "--locations", "12",
+              "--seed", "9"])
+        main(["downlink", "--out", str(b), "--locations", "12",
+              "--seed", "9", "--workers", "2"])
+        assert read_downlink_measurements(a) == \
+            read_downlink_measurements(b)
+
+    def test_progress_and_timing_reported(self, tmp_path, capsys):
+        out = tmp_path / "campaign.jsonl"
+        rc = main(["downlink", "--out", str(out), "--locations", "8",
+                   "--seed", "3", "--progress"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "generated in" in captured.out
+        assert "measure" in captured.out
+        assert "locations: 8/8" in captured.err
 
 
 class TestInspectCommand:

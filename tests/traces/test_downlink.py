@@ -73,3 +73,55 @@ class TestCampaign:
         dead = [rate for m in campaign
                 for rate in m.interfered_rate_bps.values() if rate == 0.0]
         assert dead
+
+
+class TestVectorizedGoldenEquivalence:
+    """``generate`` (batched SNR rows, chunked rate measurements) must
+    reproduce the frozen ``generate_scalar`` bit for bit, for any seed,
+    config and worker count (PR-1 convention)."""
+
+    CONFIGS = [
+        DownlinkTraceConfig(n_locations=20),
+        DownlinkTraceConfig(n_locations=15, n_aps=3,
+                            corridor_length_m=60.0),
+        # No shadowing: SNR rows are fully deterministic.
+        DownlinkTraceConfig(n_locations=12, shadowing_sigma_db=0.0),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=[f"cfg{i}" for i in range(len(CONFIGS))])
+    @pytest.mark.parametrize("seed", [0, 11, 2010])
+    def test_bit_identical_to_scalar(self, config, seed):
+        generator = DownlinkTraceGenerator(config)
+        assert generator.generate(seed) == generator.generate_scalar(seed)
+
+    def test_parallel_identical_to_serial(self):
+        config = DownlinkTraceConfig(n_locations=30)
+        generator = DownlinkTraceGenerator(config)
+        serial = generator.generate(seed=5)
+        parallel = generator.generate(seed=5, n_workers=3)
+        assert serial == parallel
+
+    def test_progress_reports_every_location(self):
+        config = DownlinkTraceConfig(n_locations=8)
+        calls = []
+        DownlinkTraceGenerator(config).generate(
+            seed=1, progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (8, 8)
+        assert [done for done, _ in calls] == sorted(done
+                                                     for done, _ in calls)
+
+    def test_timer_covers_all_phases(self):
+        from repro.util.timing import PhaseTimer
+        timer = PhaseTimer()
+        config = DownlinkTraceConfig(n_locations=6)
+        DownlinkTraceGenerator(config).generate(seed=1, timer=timer)
+        assert list(timer.phases) == ["draw", "measure", "assemble"]
+        assert all(t >= 0.0 for t in timer.phases.values())
+
+    def test_default_config_constructed_per_instance(self):
+        # RPR305 regression: the default config must not be a shared
+        # class-level instance.
+        a, b = DownlinkTraceGenerator(), DownlinkTraceGenerator()
+        assert a.config == b.config
+        assert a.config is not b.config

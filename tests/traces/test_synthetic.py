@@ -101,3 +101,52 @@ class TestGenerator:
         for snap in short_trace:
             names = [c.client for c in snap.clients]
             assert len(set(names)) == len(names)
+
+
+class TestVectorizedGoldenEquivalence:
+    """``generate`` (block draws, batched RSS, array association) must
+    reproduce the frozen ``generate_scalar`` bit for bit — same
+    snapshot order, same client names, same RSSI floats — for any seed
+    and config (PR-1 convention)."""
+
+    CONFIGS = [
+        UploadTraceConfig(duration_days=0.25),
+        UploadTraceConfig(duration_days=0.5, peak_clients=40.0),
+        UploadTraceConfig(duration_days=0.25, ap_rows=1, ap_cols=2,
+                          width_m=30.0, height_m=15.0),
+        # No shadowing: the RSS matrix is fully deterministic.
+        UploadTraceConfig(duration_days=0.25, shadowing_sigma_db=0.0),
+        # Harsh clipping exercises the sensitivity-floor path.
+        UploadTraceConfig(duration_days=0.25, sensitivity_dbm=-60.0,
+                          pathloss_exponent=4.5),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=[f"cfg{i}" for i in range(len(CONFIGS))])
+    @pytest.mark.parametrize("seed", [0, 7, 2010])
+    def test_bit_identical_to_scalar(self, config, seed):
+        generator = UploadTraceGenerator(config)
+        assert generator.generate(seed) == generator.generate_scalar(seed)
+
+    def test_progress_reports_every_snapshot(self):
+        config = UploadTraceConfig(duration_days=0.25)
+        calls = []
+        UploadTraceGenerator(config).generate(
+            seed=1, progress=lambda done, total: calls.append((done, total)))
+        n = config.n_snapshots
+        assert calls == [(k + 1, n) for k in range(n)]
+
+    def test_timer_covers_all_phases(self):
+        from repro.util.timing import PhaseTimer
+        timer = PhaseTimer()
+        config = UploadTraceConfig(duration_days=0.25)
+        UploadTraceGenerator(config).generate(seed=1, timer=timer)
+        assert list(timer.phases) == ["draw", "rss", "assemble"]
+        assert all(t >= 0.0 for t in timer.phases.values())
+
+    def test_default_config_constructed_per_instance(self):
+        # RPR305 regression: the default config must not be a shared
+        # class-level instance.
+        a, b = UploadTraceGenerator(), UploadTraceGenerator()
+        assert a.config == b.config
+        assert a.config is not b.config
