@@ -169,8 +169,12 @@ def compute(measurements: Optional[Sequence[DownlinkMeasurement]] = None,
     with maybe_phase(timer, "draw"):
         scenario_idx: List[Tuple[int, int, int, int]] = []
         for _ in range(n_scenarios):
-            i, j = rng.choice(len(measurements), size=2, replace=False)
-            a_idx, b_idx = rng.choice(len(ap_names), size=2, replace=False)
+            # Per-scenario draws are the frozen stream: compute_scalar
+            # draws locations-then-APs per scenario, and choice(...,
+            # replace=False) consumes a data-dependent number of values,
+            # so the two draws cannot be blocked without desyncing.
+            i, j = rng.choice(len(measurements), size=2, replace=False)  # repro-lint: disable=RPR403
+            a_idx, b_idx = rng.choice(len(ap_names), size=2, replace=False)  # repro-lint: disable=RPR403
             scenario_idx.append((int(i), int(j), int(a_idx), int(b_idx)))
 
     with maybe_phase(timer, "evaluate"):

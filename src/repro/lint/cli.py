@@ -2,6 +2,15 @@
 
 Exit codes: 0 clean, 1 violations found, 2 when files could not be
 parsed/read (unchecked code must fail the build too) or on bad usage.
+
+Frozen-reference discipline::
+
+    repro-lint --check-frozen            # digests + reverse reconciliation
+    repro-lint --update-frozen           # deliberately re-freeze (writes manifest)
+
+Code-scanning integration::
+
+    repro-lint src/repro --format sarif --output repro-lint.sarif
 """
 
 from __future__ import annotations
@@ -12,8 +21,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.lint.manifest import (
+    DEFAULT_MANIFEST_PATH,
+    ManifestError,
+    save_manifest,
+)
 from repro.lint.registry import all_rules
-from repro.lint.runner import LintResult, lint_paths
+from repro.lint.runner import LintResult, collect_frozen_digests, lint_paths
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -21,8 +35,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based enforcement of the repro conventions: linear-unit "
-            "discipline, RNG determinism, boundary validation and "
-            "multiprocessing determinism hygiene."
+            "discipline, RNG determinism, boundary validation, "
+            "multiprocessing determinism hygiene and fast-path/"
+            "frozen-reference parity."
         ),
     )
     parser.add_argument(
@@ -33,19 +48,67 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help=(
+            "write the report to FILE instead of stdout; the text "
+            "summary still prints, so CI logs stay readable while the "
+            "SARIF/JSON artifact is captured"
+        ),
+    )
+    parser.add_argument(
         "--select",
         metavar="CODES",
-        help="comma-separated rule codes to run exclusively (e.g. RPR001,RPR103)",
+        help=(
+            "comma-separated rule codes or family prefixes to run "
+            "exclusively (e.g. RPR001,RPR4)"
+        ),
     )
     parser.add_argument(
         "--ignore",
         metavar="CODES",
-        help="comma-separated rule codes to skip",
+        help="comma-separated rule codes or family prefixes to skip",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=str(DEFAULT_MANIFEST_PATH),
+        help=(
+            "frozen-reference digest manifest checked by RPR402 "
+            "(default: the manifest shipped in repro.lint)"
+        ),
+    )
+    parser.add_argument(
+        "--check-frozen",
+        action="store_true",
+        help=(
+            "strict frozen-reference mode: a missing manifest fails, and "
+            "manifest entries whose *_scalar function vanished from the "
+            "linted tree fail too"
+        ),
+    )
+    parser.add_argument(
+        "--update-frozen",
+        action="store_true",
+        help=(
+            "regenerate the frozen manifest from the linted tree and "
+            "exit; the manifest diff is the reviewable record of a "
+            "deliberate re-freeze"
+        ),
+    )
+    parser.add_argument(
+        "--tests-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "test tree scanned for golden-test references (RPR404); "
+            "defaults to ./tests when it exists"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -67,25 +130,52 @@ def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
     return [code.strip() for code in raw.split(",") if code.strip()]
 
 
-def _print_text(result: LintResult, quiet: bool) -> None:
-    for violation in (*result.errors, *result.violations):
-        print(violation.format_text())
-    if not quiet:
-        total = len(result.violations)
-        noun = "violation" if total == 1 else "violations"
-        status = f"{total} {noun} in {result.files_checked} files"
-        if result.errors:
-            status += f" ({len(result.errors)} unparsable)"
-        print(status)
+def _format_text(result: LintResult) -> str:
+    return "\n".join(
+        v.format_text() for v in (*result.errors, *result.violations)
+    )
 
 
-def _print_json(result: LintResult) -> None:
+def _summary_line(result: LintResult) -> str:
+    total = len(result.violations)
+    noun = "violation" if total == 1 else "violations"
+    status = f"{total} {noun} in {result.files_checked} files"
+    if result.errors:
+        status += f" ({len(result.errors)} unparsable)"
+    return status
+
+
+def _format_json(result: LintResult) -> str:
     payload = {
         "files_checked": result.files_checked,
         "violations": [v.as_dict() for v in result.violations],
         "errors": [v.as_dict() for v in result.errors],
     }
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render(result: LintResult, fmt: str) -> str:
+    if fmt == "json":
+        return _format_json(result)
+    if fmt == "sarif":
+        # Local import: sarif pulls in the registry, and the CLI must
+        # stay importable even if a third-party rule module is broken.
+        from repro.lint.sarif import format_sarif
+
+        return format_sarif(result, all_rules())
+    return _format_text(result)
+
+
+def _update_frozen(paths: List[Path], manifest: Path) -> int:
+    try:
+        digests = collect_frozen_digests(paths)
+    except ManifestError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    save_manifest(manifest, digests)
+    noun = "reference" if len(digests) == 1 else "references"
+    print(f"froze {len(digests)} {noun} -> {manifest}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -100,20 +190,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         parser.error(f"path does not exist: {', '.join(missing)}")
+    paths = [Path(p) for p in args.paths]
+    manifest = Path(args.manifest)
+
+    if args.update_frozen:
+        return _update_frozen(paths, manifest)
+
+    tests_dir: Optional[Path] = None
+    if args.tests_dir is not None:
+        tests_dir = Path(args.tests_dir)
+        if not tests_dir.is_dir():
+            parser.error(f"tests dir does not exist: {tests_dir}")
+    elif Path("tests").is_dir():
+        tests_dir = Path("tests")
 
     try:
         result = lint_paths(
-            [Path(p) for p in args.paths],
+            paths,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
+            manifest=manifest,
+            check_frozen=args.check_frozen,
+            tests_dir=tests_dir,
         )
     except KeyError as exc:
         parser.error(str(exc.args[0]) if exc.args else str(exc))
 
-    if args.format == "json":
-        _print_json(result)
-    else:
-        _print_text(result, quiet=args.quiet)
+    report = _render(result, args.format)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        text = _format_text(result)
+        if text:
+            print(text)
+    elif report:
+        print(report)
+    if (args.format == "text" or args.output) and not args.quiet:
+        print(_summary_line(result))
     return result.exit_code()
 
 

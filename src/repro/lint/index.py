@@ -1,6 +1,6 @@
-"""Project-wide cross-file facts: callee signatures and validation reach.
+"""Project-wide cross-file facts: signatures, validation reach, parity pairs.
 
-Two rule families need more than one file's AST:
+Three rule families need more than one file's AST:
 
 * RPR003 (unit-suffix mismatch at call sites) resolves each call against
   the *callee's* parameter names, so the index records every function
@@ -8,22 +8,43 @@ Two rule families need more than one file's AST:
 * RPR201 (boundary validation) accepts delegation — a public function
   whose float parameters flow into a helper that validates them is fine —
   so the index computes the transitive closure of "calls a
-  ``util.validation`` checker" over the project call graph.
+  ``util.validation`` checker" over the project call graph;
+* RPR4xx (frozen-reference parity) pairs every vectorised fast path with
+  its frozen ``<name>_scalar`` golden twin, wherever the twin lives —
+  same class, same module, or a sibling ``*_scalar`` module — and
+  carries an AST-normalised digest of each frozen reference so drift is
+  detected against the committed manifest.
 
-Both resolutions are by *bare name* (the last dotted component).  When
-two definitions share a name with different parameter lists the entry is
-marked ambiguous and call-site rules skip it — conservative in the
-direction of fewer false positives.
+Signature resolutions are by *bare name* (the last dotted component).
+When two definitions share a name with different parameter lists the
+entry is marked ambiguous and call-site rules skip it — conservative in
+the direction of fewer false positives.  Parity pairing, by contrast, is
+scope-aware (``module`` + enclosing class), because ``generate_scalar``
+legitimately exists on several generator classes at once.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 #: Bare-name prefix that marks a :mod:`repro.util.validation` checker.
 VALIDATION_PREFIX = "check_"
+
+#: Suffix that marks a behaviourally-frozen golden reference.
+SCALAR_SUFFIX = "_scalar"
 
 
 @dataclass(frozen=True)
@@ -37,6 +58,8 @@ class FunctionSignature:
     positional: Tuple[str, ...]
     keyword_only: Tuple[str, ...]
     has_vararg: bool
+    #: Source text of the return annotation, if any (``"Set[Tuple[int, int]]"``).
+    returns: Optional[str] = None
 
     @property
     def all_params(self) -> Tuple[str, ...]:
@@ -68,7 +91,206 @@ def signature_of(node: ast.AST, module: str) -> Optional[FunctionSignature]:
         positional=positional,
         keyword_only=tuple(a.arg for a in args.kwonlyargs),
         has_vararg=args.vararg is not None,
+        returns=None if node.returns is None else expr_source(node.returns),
     )
+
+
+def expr_source(node: ast.expr) -> str:
+    """Canonical source text of an expression (whitespace-insensitive)."""
+    return ast.unparse(node)
+
+
+#: AST fields excluded from the frozen digest: they vary across CPython
+#: versions (``type_params`` is 3.12+) or carry no behaviour.
+_DIGEST_SKIP_FIELDS: FrozenSet[str] = frozenset(
+    {"type_comment", "type_ignores", "type_params"}
+)
+
+#: Node types whose leading string-constant statement is a docstring.
+_DOCSTRING_OWNERS = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.Module,
+)
+
+
+def _is_docstring_stmt(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )
+
+
+def _canonical(node: object, parent: Optional[ast.AST], fname: str) -> str:
+    """Version-stable serialisation of an AST fragment.
+
+    ``ast.dump`` output drifts across CPython releases (new fields such
+    as ``type_params``), and ``ast.unparse`` formatting is not pinned
+    either, so the digest walks the tree itself: node class names plus
+    field values, with docstrings and no-behaviour fields dropped.
+    Comments and formatting never reach the AST, so reflowing a frozen
+    reference does not change its digest — editing any token does.
+    """
+    if isinstance(node, ast.AST):
+        parts = []
+        for name, value in ast.iter_fields(node):
+            if name in _DIGEST_SKIP_FIELDS:
+                continue
+            parts.append(f"{name}={_canonical(value, node, name)}")
+        return f"{type(node).__name__}({','.join(parts)})"
+    if isinstance(node, list):
+        items: List[object] = list(node)
+        if (
+            fname == "body"
+            and isinstance(parent, _DOCSTRING_OWNERS)
+            and items
+            and _is_docstring_stmt(items[0])  # type: ignore[arg-type]
+        ):
+            items = items[1:]
+        return "[" + ",".join(_canonical(x, parent, fname) for x in items) + "]"
+    return repr(node)
+
+
+def frozen_digest(node: ast.AST) -> str:
+    """SHA-256 of the AST-normalised body of ``node`` (a function def).
+
+    Insensitive to comments, whitespace, and docstrings; sensitive to
+    every code token, including defaults, decorators and annotations.
+    """
+    return hashlib.sha256(
+        _canonical(node, None, "").encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class ParityDef:
+    """One side of a fast-path/frozen-reference pair."""
+
+    module: str
+    #: ``"func"`` for module-level functions, ``"Class.method"`` for methods.
+    qualname: str
+    name: str
+    #: Enclosing class name, or ``""`` at module top level.
+    scope: str
+    lineno: int
+    positional: Tuple[str, ...]
+    keyword_only: Tuple[str, ...]
+    #: ``(param, default_source)`` for every defaulted parameter.
+    defaults: Tuple[Tuple[str, str], ...]
+    has_vararg: bool
+    has_kwarg: bool
+    digest: str
+
+    @property
+    def key(self) -> str:
+        """Stable manifest key: ``module::qualname``."""
+        return f"{self.module}::{self.qualname}"
+
+    def default_of(self, param: str) -> Optional[str]:
+        for name, source in self.defaults:
+            if name == param:
+                return source
+        return None
+
+
+@dataclass(frozen=True)
+class ParityPair:
+    """A vectorised fast path and its frozen ``*_scalar`` reference."""
+
+    fast: ParityDef
+    scalar: ParityDef
+
+
+def parity_def_of(
+    node: ast.FunctionDef, module: str, scope: str
+) -> ParityDef:
+    """Build the parity record for one function definition."""
+    args = node.args
+    positional = tuple(a.arg for a in args.posonlyargs) + tuple(
+        a.arg for a in args.args
+    )
+    defaults: List[Tuple[str, str]] = []
+    if args.defaults:
+        for arg_name, default in zip(
+            positional[len(positional) - len(args.defaults):], args.defaults
+        ):
+            defaults.append((arg_name, expr_source(default)))
+    for kwarg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            defaults.append((kwarg.arg, expr_source(default)))
+    qualname = f"{scope}.{node.name}" if scope else node.name
+    return ParityDef(
+        module=module,
+        qualname=qualname,
+        name=node.name,
+        scope=scope,
+        lineno=node.lineno,
+        positional=positional,
+        keyword_only=tuple(a.arg for a in args.kwonlyargs),
+        defaults=tuple(defaults),
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+        digest=frozen_digest(node),
+    )
+
+
+def _iter_scoped_defs(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.FunctionDef, str]]:
+    """Module-level functions and methods of module-level classes.
+
+    Function-nested helpers (the blossom closures) are deliberately
+    excluded: parity pairing is a module-API contract, not an
+    implementation-detail one.
+    """
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            yield stmt, ""
+        elif isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                if isinstance(inner, ast.FunctionDef):
+                    yield inner, stmt.name
+
+
+def discover_parity_pairs(
+    defs: Iterable[ParityDef],
+) -> Tuple[ParityPair, ...]:
+    """Match every ``<name>_scalar`` def with its fast-path twin.
+
+    Resolution order: same module and scope first (``compute`` /
+    ``compute_scalar`` side by side, ``generate`` / ``generate_scalar``
+    on one class), then a unique module-level ``<name>`` anywhere in the
+    indexed set (the ``matching`` / ``matching_scalar`` sibling-module
+    split).  An ambiguous cross-module resolution pairs nothing —
+    conservative in the direction of fewer false positives.
+    """
+    all_defs = list(defs)
+    pairs: List[ParityPair] = []
+    for scalar in all_defs:
+        if not scalar.name.endswith(SCALAR_SUFFIX):
+            continue
+        base = scalar.name[: -len(SCALAR_SUFFIX)]
+        if not base:
+            continue
+        local = [
+            d
+            for d in all_defs
+            if d.name == base
+            and d.module == scalar.module
+            and d.scope == scalar.scope
+        ]
+        if local:
+            pairs.append(ParityPair(fast=local[0], scalar=scalar))
+            continue
+        if scalar.scope == "":
+            remote = [
+                d for d in all_defs if d.name == base and d.scope == ""
+            ]
+            if len(remote) == 1:
+                pairs.append(ParityPair(fast=remote[0], scalar=scalar))
+    return tuple(pairs)
 
 
 def _called_names(node: ast.AST) -> Iterator[str]:
@@ -81,24 +303,47 @@ def _called_names(node: ast.AST) -> Iterator[str]:
 
 
 class ProjectIndex:
-    """Signature table + transitive-validation set over one file set."""
+    """Signature table, validation closure and parity index for one file set."""
 
     def __init__(
         self,
         signatures: Dict[str, Optional[FunctionSignature]],
         validators: FrozenSet[str],
+        parity_defs: Tuple[ParityDef, ...] = (),
+        parity_pairs: Tuple[ParityPair, ...] = (),
+        manifest: Optional[Mapping[str, str]] = None,
+        test_names: Optional[FrozenSet[str]] = None,
     ) -> None:
         self._signatures = signatures
         self._validators = validators
+        self._parity_defs = parity_defs
+        self._parity_pairs = parity_pairs
+        self._manifest = dict(manifest) if manifest is not None else None
+        self._test_names = test_names
 
     @classmethod
-    def build(cls, trees: Iterable[Tuple[str, ast.Module]]) -> "ProjectIndex":
-        """Index ``(module_name, tree)`` pairs — typically every linted file."""
+    def build(
+        cls,
+        trees: Iterable[Tuple[str, ast.Module]],
+        manifest: Optional[Mapping[str, str]] = None,
+        test_names: Optional[FrozenSet[str]] = None,
+    ) -> "ProjectIndex":
+        """Index ``(module_name, tree)`` pairs — typically every linted file.
+
+        ``manifest`` (``module::qualname`` -> digest, from the committed
+        frozen manifest) arms RPR402; ``test_names`` (every identifier
+        referenced under the test tree) arms RPR404.  Either left
+        ``None`` disables the corresponding rule — per-fixture unit
+        linting stays self-contained.
+        """
         signatures: Dict[str, Optional[FunctionSignature]] = {}
         direct_validators: Set[str] = set()
         call_edges: Dict[str, Set[str]] = {}
+        parity_defs: List[ParityDef] = []
 
         for module, tree in trees:
+            for node, scope in _iter_scoped_defs(tree):
+                parity_defs.append(parity_def_of(node, module, scope))
             for node in ast.walk(tree):
                 sig = signature_of(node, module)
                 if sig is None:
@@ -122,7 +367,14 @@ class ProjectIndex:
                         direct_validators.add(sig.name)
 
         validators = _transitive_closure(direct_validators, call_edges)
-        return cls(signatures, frozenset(validators))
+        return cls(
+            signatures,
+            frozenset(validators),
+            parity_defs=tuple(parity_defs),
+            parity_pairs=discover_parity_pairs(parity_defs),
+            manifest=manifest,
+            test_names=test_names,
+        )
 
     def signature(self, bare_name: str) -> Optional[FunctionSignature]:
         """The unique signature for ``bare_name``; None when unknown/ambiguous."""
@@ -131,6 +383,52 @@ class ProjectIndex:
     def reaches_validation(self, bare_name: str) -> bool:
         """Does ``bare_name`` (transitively) call a ``check_*`` validator?"""
         return bare_name in self._validators
+
+    # -- parity ---------------------------------------------------------
+
+    @property
+    def parity_pairs(self) -> Tuple[ParityPair, ...]:
+        """Every discovered fast-path/frozen-reference pair."""
+        return self._parity_pairs
+
+    def pairs_with_fast_in(self, module: str) -> Tuple[ParityPair, ...]:
+        """Pairs whose fast path is defined in ``module``."""
+        return tuple(
+            p for p in self._parity_pairs if p.fast.module == module
+        )
+
+    def scalar_defs(self) -> Tuple[ParityDef, ...]:
+        """Every frozen ``*_scalar`` definition, paired or not."""
+        return tuple(
+            d
+            for d in self._parity_defs
+            if d.name.endswith(SCALAR_SUFFIX)
+            and len(d.name) > len(SCALAR_SUFFIX)
+        )
+
+    def scalar_defs_in(self, module: str) -> Tuple[ParityDef, ...]:
+        return tuple(d for d in self.scalar_defs() if d.module == module)
+
+    @property
+    def has_manifest(self) -> bool:
+        return self._manifest is not None
+
+    def manifest_digest(self, key: str) -> Optional[str]:
+        """Committed digest for ``module::qualname``, if registered."""
+        if self._manifest is None:
+            return None
+        return self._manifest.get(key)
+
+    def manifest_keys(self) -> FrozenSet[str]:
+        return frozenset(self._manifest or ())
+
+    @property
+    def has_test_index(self) -> bool:
+        return self._test_names is not None
+
+    def test_references_name(self, bare_name: str) -> bool:
+        """Is ``bare_name`` referenced anywhere under the scanned test tree?"""
+        return self._test_names is not None and bare_name in self._test_names
 
 
 def _transitive_closure(

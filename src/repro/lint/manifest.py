@@ -1,0 +1,75 @@
+"""The frozen-reference manifest: committed digests of every ``*_scalar``.
+
+The manifest is a JSON file mapping ``module::qualname`` keys to the
+AST-normalised SHA-256 digest (:func:`repro.lint.index.frozen_digest`)
+of each frozen golden reference.  It is regenerated only through
+``repro-lint --update-frozen``, so any behavioural edit to a frozen
+reference shows up in review as a manifest diff — never as a silent
+drive-by inside a speedup PR.
+
+``repro-lint --check-frozen`` compares the linted tree against the
+manifest both ways: drifted or unregistered references fire RPR402 at
+their definition; manifest entries whose function no longer exists fire
+RPR402 at the manifest itself (a frozen reference must not quietly
+disappear either).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping
+
+#: The committed manifest, shipped inside the package so the installed
+#: console script checks the same frozen set the repo pinned.
+MANIFEST_FILENAME = "frozen_manifest.json"
+DEFAULT_MANIFEST_PATH = Path(__file__).resolve().parent / MANIFEST_FILENAME
+
+_FORMAT_VERSION = 1
+
+
+class ManifestError(ValueError):
+    """The manifest file exists but cannot be used."""
+
+
+def load_manifest(path: Path) -> Dict[str, str]:
+    """Read ``key -> digest`` from ``path``; raises :class:`ManifestError`."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ManifestError(f"cannot read frozen manifest {path}: {exc}")
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _FORMAT_VERSION
+        or not isinstance(payload.get("frozen"), dict)
+    ):
+        raise ManifestError(
+            f"frozen manifest {path} is not a version-{_FORMAT_VERSION} "
+            f"manifest (expected {{'version': {_FORMAT_VERSION}, "
+            f"'frozen': {{...}}}})"
+        )
+    frozen = payload["frozen"]
+    for key, digest in frozen.items():
+        if not isinstance(key, str) or not isinstance(digest, str):
+            raise ManifestError(
+                f"frozen manifest {path}: entry {key!r} is malformed"
+            )
+    return dict(frozen)
+
+
+def save_manifest(path: Path, digests: Mapping[str, str]) -> None:
+    """Write a sorted, stable-diff manifest to ``path``."""
+    payload = {
+        "_comment": (
+            "AST-normalised SHA-256 digests of the frozen *_scalar golden "
+            "references. Regenerate ONLY via 'repro-lint --update-frozen' "
+            "and justify the diff: frozen references are behaviourally "
+            "immutable (see docs/conventions.md, 'Freezing a reference')."
+        ),
+        "version": _FORMAT_VERSION,
+        "frozen": {key: digests[key] for key in sorted(digests)},
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )

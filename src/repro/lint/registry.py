@@ -25,6 +25,9 @@ class Rule:
     code: str = ""
     #: One-line human description shown by ``repro-lint --list-rules``.
     summary: str = ""
+    #: Remediation advice; surfaced as SARIF rule help and in verbose
+    #: ``--list-rules`` output.  Optional but encouraged.
+    hint: str = ""
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         raise NotImplementedError
@@ -39,6 +42,7 @@ BUILTIN_RULE_MODULES = (
     "repro.lint.rules.rng",
     "repro.lint.rules.validation",
     "repro.lint.rules.hygiene",
+    "repro.lint.rules.parity",
 )
 
 
@@ -64,19 +68,38 @@ def all_rules() -> List[Rule]:
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
+def _matches(code: str, selector: str) -> bool:
+    """Exact code or family-prefix match (``RPR4`` selects RPR401...)."""
+    return code == selector or (
+        selector.startswith("RPR") and code.startswith(selector)
+    )
+
+
 def select_rules(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Rule]:
-    """Registered rules filtered to ``select`` minus ``ignore``."""
+    """Registered rules filtered to ``select`` minus ``ignore``.
+
+    Selectors are exact codes (``RPR103``) or family prefixes
+    (``RPR1``, ``RPR40``); a selector matching no registered rule is a
+    usage error.
+    """
     rules = all_rules()
+    codes = {rule.code for rule in rules}
+    for selector in (*(select or ()), *(ignore or ())):
+        if not any(_matches(code, selector) for code in codes):
+            raise KeyError(f"unknown rule code(s): {selector}")
     if select:
-        wanted = set(select)
-        unknown = wanted - {rule.code for rule in rules}
-        if unknown:
-            raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
-        rules = [rule for rule in rules if rule.code in wanted]
+        rules = [
+            rule
+            for rule in rules
+            if any(_matches(rule.code, s) for s in select)
+        ]
     if ignore:
-        dropped = set(ignore)
-        rules = [rule for rule in rules if rule.code not in dropped]
+        rules = [
+            rule
+            for rule in rules
+            if not any(_matches(rule.code, s) for s in ignore)
+        ]
     return rules

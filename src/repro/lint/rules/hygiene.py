@@ -64,6 +64,10 @@ class WallClockRule(Rule):
         "time.time() is wall-clock nondeterminism; results must depend "
         "only on (seed, config) — use time.perf_counter() for benchmarks"
     )
+    hint = (
+        "take simulated time from the event loop; for measuring elapsed "
+        "real time use time.perf_counter()"
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         if not _applies(ctx):
@@ -92,6 +96,10 @@ class OsEntropyRule(Rule):
     summary = (
         "os.urandom draws OS entropy; derive per-worker streams with "
         "repro.util.rng.spawn_seed_sequences instead"
+    )
+    hint = (
+        "derive worker streams from the run seed via "
+        "repro.util.rng.spawn_seed_sequences"
     )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
@@ -131,6 +139,10 @@ class BareSleepRule(Rule):
         "bare time.sleep bypasses the injectable RetryPolicy sleep hook; "
         "accept a sleep callable (repro.util.faults.RetryPolicy) instead"
     )
+    hint = (
+        "accept an injectable sleep callable so tests can record delays "
+        "instead of serving them"
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         if not ctx.in_any_package(*RETRY_PATH_PACKAGES):
@@ -169,6 +181,10 @@ class HeadPopInLoopRule(Rule):
     summary = (
         "pop(0) inside a loop is O(n) per call (quadratic drain); "
         "use collections.deque and popleft() for O(1) head pops"
+    )
+    hint = (
+        "drain queues through collections.deque.popleft(); keep a list "
+        "only when arbitrary-index pops are genuinely needed"
     )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
@@ -222,6 +238,10 @@ class InstanceDefaultArgumentRule(Rule):
     summary = (
         "class instance as a parameter default is evaluated once and "
         "shared by every call; default to None and construct inside"
+    )
+    hint = (
+        "default the parameter to None and construct the instance inside "
+        "the function body"
     )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:

@@ -1,0 +1,445 @@
+"""Frozen-reference / fast-path parity rules (RPR4xx).
+
+Every speedup in this repo rests on one convention (PR-1): a vectorised
+fast path must replay its frozen ``<name>_scalar`` reference draw for
+draw and bit for bit.  The golden tests *demonstrate* that parity; these
+rules *police the discipline around it* so a PR cannot silently erode
+it:
+
+* RPR401 — the fast path's signature drifts away from its frozen twin
+  (a renamed parameter or changed default makes "same arguments" calls
+  diverge);
+* RPR402 — a frozen ``*_scalar`` reference's body no longer matches the
+  committed AST-normalised digest manifest (``repro-lint
+  --check-frozen`` / ``--update-frozen``);
+* RPR403 — a fast path draws from a Generator inside a Python loop
+  (per-iteration draws are exactly what vectorisation replaces; when
+  the frozen stream itself is per-iteration, suppress with a
+  justification);
+* RPR404 — a pair has no golden bit-identity test: nothing under
+  ``tests/`` references the frozen ``*_scalar`` name;
+* RPR405 — iteration over a ``set``-typed value feeds an ordered
+  result or an RNG draw (set order is an implementation detail of the
+  hash table, not a reproducible contract — iterate ``sorted(...)``).
+
+RPR402 arms only when the runner is given a frozen manifest, RPR404
+only when it scanned a test tree; linting a lone fixture file stays
+self-contained.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.context import FileContext
+from repro.lint.index import ParityPair, ProjectIndex, callee_bare_name
+from repro.lint.registry import Rule, register
+from repro.lint.rules.rng import DRAW_METHODS, RNG_FACTORIES
+from repro.lint.violations import Violation
+
+#: Annotation spellings that mark a value as set-typed.
+_SET_ANNOTATIONS = ("Set[", "FrozenSet[", "set[", "frozenset[")
+_SET_ANNOTATION_EXACT = frozenset({"set", "Set", "frozenset", "FrozenSet"})
+
+#: Methods whose call inside a set-iteration loop makes order observable.
+_ORDER_SINK_METHODS = frozenset(
+    {"append", "extend", "insert", "appendleft", "put"}
+)
+
+
+def _at(ctx: FileContext, lineno: int, code: str, message: str) -> Violation:
+    """A violation anchored by line number (no AST node at hand)."""
+    return Violation(
+        path=str(ctx.path), line=lineno, col=0, code=code, message=message
+    )
+
+
+def _find_def(
+    tree: ast.Module, qualname: str
+) -> Optional[ast.FunctionDef]:
+    """Resolve ``"func"`` / ``"Class.method"`` to its def node."""
+    parts = qualname.split(".")
+    body: Sequence[ast.stmt] = tree.body
+    if len(parts) == 2:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef) and stmt.name == parts[0]:
+                body = stmt.body
+                break
+        else:
+            return None
+    for stmt in body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == parts[-1]:
+            return stmt
+    return None
+
+
+def _is_rng_receiver(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and (
+        node.id == "rng" or node.id.endswith("_rng")
+    )
+
+
+def _is_draw_call(node: ast.AST) -> bool:
+    """A Generator draw (``rng.normal(...)``) or generator construction."""
+    if not isinstance(node, ast.Call):
+        return False
+    if callee_bare_name(node.func) in RNG_FACTORIES:
+        return True
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in DRAW_METHODS
+        and _is_rng_receiver(node.func.value)
+    )
+
+
+@register
+class SignatureDriftRule(Rule):
+    """RPR401 — fast-path signature drifted from its frozen twin.
+
+    The frozen reference's parameter list must survive verbatim in the
+    fast path: same names, same order, same defaults.  The fast path may
+    *append* parameters (timers, worker counts, caches) as long as every
+    addition has a default, so ``f(args...)`` and ``f_scalar(args...)``
+    stay interchangeable call for call.
+    """
+
+    code = "RPR401"
+    summary = "fast-path signature drifted from its frozen *_scalar twin"
+    hint = (
+        "keep the frozen reference's parameters (names, order, defaults) "
+        "as a prefix of the fast path's; new fast-path parameters need "
+        "defaults"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        for pair in index.pairs_with_fast_in(ctx.module):
+            for problem in _signature_drift(pair):
+                yield _at(
+                    ctx,
+                    pair.fast.lineno,
+                    self.code,
+                    f"'{pair.fast.qualname}' vs frozen "
+                    f"'{pair.scalar.qualname}': {problem}",
+                )
+
+
+def _signature_drift(pair: ParityPair) -> List[str]:
+    fast, scalar = pair.fast, pair.scalar
+    problems: List[str] = []
+    n = len(scalar.positional)
+    if fast.positional[:n] != scalar.positional:
+        problems.append(
+            f"positional parameters drifted: frozen takes "
+            f"{_fmt(scalar.positional)}, fast path starts with "
+            f"{_fmt(fast.positional[:n])}"
+        )
+        return problems  # parameter sets diverged; default checks would double-report
+    for extra in fast.positional[n:]:
+        if fast.default_of(extra) is None:
+            problems.append(
+                f"fast-path-only parameter '{extra}' has no default, so "
+                f"frozen-twin call sites cannot be replayed against it"
+            )
+    missing_kw = [
+        k for k in scalar.keyword_only if k not in fast.keyword_only
+    ]
+    if missing_kw:
+        problems.append(
+            f"keyword-only parameter(s) {_fmt(missing_kw)} of the frozen "
+            f"twin are missing from the fast path"
+        )
+    for extra in fast.keyword_only:
+        if extra not in scalar.keyword_only and fast.default_of(extra) is None:
+            problems.append(
+                f"fast-path-only keyword parameter '{extra}' has no default"
+            )
+    shared = list(scalar.positional) + [
+        k for k in scalar.keyword_only if k in fast.keyword_only
+    ]
+    for param in shared:
+        f_default = fast.default_of(param)
+        s_default = scalar.default_of(param)
+        if f_default != s_default:
+            problems.append(
+                f"default drift for parameter '{param}': frozen has "
+                f"{s_default!r}, fast path has {f_default!r}"
+            )
+    return problems
+
+
+def _fmt(names: Sequence[str]) -> str:
+    return "(" + ", ".join(names) + ")"
+
+
+@register
+class FrozenReferenceDriftRule(Rule):
+    """RPR402 — a frozen reference no longer matches the manifest digest.
+
+    Frozen ``*_scalar`` references are behaviourally immutable by
+    convention; their AST-normalised SHA-256 digests are committed in
+    the frozen manifest.  Comment/whitespace/docstring edits keep the
+    digest; any code-token edit trips it.  Deliberate re-freezing goes
+    through ``repro-lint --update-frozen`` so the diff reviews as a
+    manifest change, never as a silent drive-by.
+    """
+
+    code = "RPR402"
+    summary = "frozen *_scalar reference drifted from the committed manifest"
+    hint = (
+        "frozen references must not change behaviour: revert the edit, or "
+        "re-freeze deliberately with 'repro-lint --update-frozen' and "
+        "justify the manifest diff in review"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if not index.has_manifest:
+            return
+        for frozen in index.scalar_defs_in(ctx.module):
+            expected = index.manifest_digest(frozen.key)
+            if expected is None:
+                yield _at(
+                    ctx,
+                    frozen.lineno,
+                    self.code,
+                    f"frozen reference '{frozen.qualname}' is not "
+                    f"registered in the frozen manifest; run "
+                    f"'repro-lint --update-frozen' to freeze it",
+                )
+            elif expected != frozen.digest:
+                yield _at(
+                    ctx,
+                    frozen.lineno,
+                    self.code,
+                    f"frozen reference '{frozen.qualname}' drifted: "
+                    f"digest {frozen.digest[:12]} != manifest "
+                    f"{expected[:12]}; {self.hint}",
+                )
+
+
+@register
+class FastPathLoopDrawRule(Rule):
+    """RPR403 — Generator draw inside a Python loop in a fast path.
+
+    Per-iteration draws are exactly what the vectorised fast paths
+    replace with block draws — and they are the easiest way to reorder
+    the stream relative to the frozen reference (an early ``continue``,
+    a reordered loop, a data-dependent draw count).  Where the frozen
+    stream is *defined* per iteration (per-snapshot draw counts), keep
+    the loop and suppress with a justification comment.
+    """
+
+    code = "RPR403"
+    summary = "Generator draw inside a Python loop in a vectorised fast path"
+    hint = (
+        "block the draws (size=n) to mirror the frozen stream, or — when "
+        "the frozen reference itself draws per iteration — suppress with "
+        "'# repro-lint: disable=RPR403' plus a why-comment"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        for pair in index.pairs_with_fast_in(ctx.module):
+            node = _find_def(ctx.tree, pair.fast.qualname)
+            if node is None:
+                continue
+            seen: Set[int] = set()
+            for loop in ast.walk(node):
+                if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                    continue
+                for child in ast.walk(loop):
+                    if id(child) in seen or child is loop:
+                        continue
+                    if _is_draw_call(child):
+                        seen.add(id(child))
+                        yield ctx.make_violation(
+                            child,
+                            self.code,
+                            f"fast path '{pair.fast.qualname}' draws "
+                            f"inside a loop; {self.hint}",
+                        )
+
+
+@register
+class MissingGoldenTestRule(Rule):
+    """RPR404 — a parity pair with no golden bit-identity test.
+
+    The frozen reference only earns its keep when a test replays it
+    against the fast path.  The runner indexes every identifier
+    referenced under the test tree; a pair whose ``*_scalar`` name never
+    appears there has no golden test and the parity claim is untested.
+    """
+
+    code = "RPR404"
+    summary = "fast-path pair has no golden bit-identity test"
+    hint = (
+        "add a test that runs the fast path and its *_scalar twin on "
+        "identical inputs and asserts bit-identical results"
+    )
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        if not index.has_test_index:
+            return
+        for pair in index.pairs_with_fast_in(ctx.module):
+            if not index.test_references_name(pair.scalar.name):
+                yield _at(
+                    ctx,
+                    pair.fast.lineno,
+                    self.code,
+                    f"no test references frozen twin "
+                    f"'{pair.scalar.name}' of '{pair.fast.qualname}'; "
+                    f"{self.hint}",
+                )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """RPR405 — set iteration feeding an ordered result or an RNG draw.
+
+    CPython set order is a hash-table accident: stable enough to pass
+    tests for years, free to change with insertion history, interpreter
+    version or value range.  Results assembled (or streams drawn) in set
+    order are therefore not a reproducible contract.  The rule tracks
+    evident set values per function — ``set()``/``frozenset()`` calls
+    and literals, parameters annotated ``Set[...]``, and names assigned
+    from calls whose indexed return annotation is set-typed — and flags
+    ``for`` loops over them whose body appends to a sequence,
+    accumulates (``+=``), stores by subscript, yields, or draws
+    randomness, plus list comprehensions over them.  ``sorted(...)``
+    around the iterable is the fix and never flags.
+    """
+
+    code = "RPR405"
+    summary = "iteration over a set feeds results or RNG in hash order"
+    hint = "iterate 'sorted(the_set)' so the order is a stated contract"
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, index, node)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        index: ProjectIndex,
+        func: ast.FunctionDef,
+    ) -> Iterator[Violation]:
+        set_names = _set_typed_names(func, index)
+        for node in ast.walk(func):
+            if isinstance(node, ast.For):
+                if _is_set_valued(node.iter, set_names, index) and (
+                    _order_sink_in(node.body)
+                ):
+                    target = ast.unparse(node.iter)
+                    yield ctx.make_violation(
+                        node,
+                        self.code,
+                        f"loop over set '{target}' feeds an ordered "
+                        f"result or RNG; {self.hint}",
+                    )
+            elif isinstance(node, ast.ListComp):
+                for gen in node.generators:
+                    if _is_set_valued(gen.iter, set_names, index):
+                        target = ast.unparse(gen.iter)
+                        yield ctx.make_violation(
+                            node,
+                            self.code,
+                            f"list built in hash order of set "
+                            f"'{target}'; {self.hint}",
+                        )
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    source = ast.unparse(annotation)
+    return source in _SET_ANNOTATION_EXACT or any(
+        marker in source for marker in _SET_ANNOTATIONS
+    )
+
+
+def _returns_set(call: ast.Call, index: ProjectIndex) -> bool:
+    name = callee_bare_name(call.func)
+    if name in ("set", "frozenset"):
+        return True
+    if name is None:
+        return False
+    sig = index.signature(name)
+    if sig is None or sig.returns is None:
+        return False
+    return sig.returns in _SET_ANNOTATION_EXACT or any(
+        marker in sig.returns for marker in _SET_ANNOTATIONS
+    )
+
+
+def _set_typed_names(
+    func: ast.FunctionDef, index: ProjectIndex
+) -> Dict[str, str]:
+    """Names evidently bound to sets in ``func`` -> evidence string."""
+    names: Dict[str, str] = {}
+    args = func.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if _annotation_is_set(arg.annotation):
+            names[arg.arg] = "parameter annotation"
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(node, ast.AnnAssign) and _annotation_is_set(
+                node.annotation
+            ):
+                names[target.id] = "annotation"
+            elif isinstance(value, (ast.Set, ast.SetComp)):
+                names[target.id] = "set literal"
+            elif isinstance(value, ast.Call) and _returns_set(value, index):
+                names[target.id] = "set-returning call"
+    return names
+
+
+def _is_set_valued(
+    node: ast.expr, set_names: Dict[str, str], index: ProjectIndex
+) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        return _returns_set(node, index)
+    return False
+
+
+def _order_sink_in(body: Sequence[ast.stmt]) -> bool:
+    """Does the loop body make iteration order observable?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.AugAssign, ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Subscript) for t in node.targets
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDER_SINK_METHODS
+            ):
+                return True
+            if _is_draw_call(node):
+                return True
+    return False
+
+
+__all__ = [
+    "FastPathLoopDrawRule",
+    "FrozenReferenceDriftRule",
+    "MissingGoldenTestRule",
+    "SignatureDriftRule",
+    "UnorderedIterationRule",
+]

@@ -111,6 +111,10 @@ class LegacyNumpyRandomRule(Rule):
         "legacy global numpy.random API; thread a Generator from "
         "repro.util.rng.make_rng instead"
     )
+    hint = (
+        "accept a SeedLike parameter, build the generator with "
+        "repro.util.rng.make_rng and draw from it"
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         if _in_rng_module(ctx):
@@ -132,6 +136,10 @@ class StdlibRandomRule(Rule):
         "stdlib 'random' module; use numpy Generators via "
         "repro.util.rng.make_rng so seeds thread through"
     )
+    hint = (
+        "replace stdlib random calls with draws on a numpy Generator "
+        "from repro.util.rng.make_rng"
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
@@ -151,6 +159,10 @@ class UnseededDefaultRngRule(Rule):
     summary = (
         "unseeded default_rng() draws OS entropy and breaks replay; "
         "accept a SeedLike and call repro.util.rng.make_rng"
+    )
+    hint = (
+        "thread a seed parameter to the call site and construct via "
+        "repro.util.rng.make_rng(seed)"
     )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
@@ -241,6 +253,10 @@ class SeedlessStochasticFunctionRule(Rule):
 
     code = "RPR104"
     summary = "function draws randomness but accepts no seed/rng parameter"
+    hint = (
+        "add a seed/rng parameter (repro.util.rng.SeedLike) so callers "
+        "can replay the stream"
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         if _in_rng_module(ctx):

@@ -75,6 +75,10 @@ class InlineDbToLinearRule(Rule):
         "inline dB->linear conversion (10 ** (x / 10)); use "
         "repro.util.units.db_to_linear / dbm_to_watts"
     )
+    hint = (
+        "route every dB->linear conversion through repro.util.units so "
+        "sign conventions live in one audited place"
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         if _in_units_module(ctx):
@@ -109,6 +113,10 @@ class InlineLinearToDbRule(Rule):
     summary = (
         "inline linear->dB conversion (10 * log10(x)); use "
         "repro.util.units.linear_to_db / watts_to_dbm / ratio_db"
+    )
+    hint = (
+        "route every linear->dB conversion through repro.util.units so "
+        "sign conventions live in one audited place"
     )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
@@ -155,6 +163,10 @@ class UnitSuffixMismatchRule(Rule):
 
     code = "RPR003"
     summary = "argument/parameter unit suffixes disagree (dB vs linear)"
+    hint = (
+        "convert at the call site with repro.util.units (db_to_linear, "
+        "dbm_to_watts, ...) so the parameter receives its stated unit"
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):

@@ -48,6 +48,11 @@ class UnvalidatedBoundaryRule(Rule):
         "public function with float parameter(s) never calls a "
         "repro.util.validation checker (directly or via its callees)"
     )
+    hint = (
+        "validate at the boundary with repro.util.validation "
+        "(check_positive, check_non_negative, ...) or delegate to a "
+        "helper that does"
+    )
 
     def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
         if not ctx.in_any_package(*BOUNDARY_PACKAGES):

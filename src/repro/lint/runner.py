@@ -2,14 +2,28 @@
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.lint.context import FileContext
 from repro.lint.index import ProjectIndex
+from repro.lint.manifest import ManifestError, load_manifest
 from repro.lint.registry import select_rules
 from repro.lint.violations import PARSE_ERROR_CODE, Violation
+
+#: Code shared with the in-file frozen checks of :mod:`rules.parity`.
+FROZEN_DRIFT_CODE = "RPR402"
 
 
 @dataclass(frozen=True)
@@ -49,21 +63,39 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
     return out
 
 
-def lint_paths(
-    paths: Sequence[Path],
-    select: Optional[Sequence[str]] = None,
-    ignore: Optional[Sequence[str]] = None,
-) -> LintResult:
-    """Lint ``paths`` (files and/or directories) with the selected rules.
+def collect_test_names(tests_dir: Path) -> FrozenSet[str]:
+    """Every identifier referenced anywhere under the test tree.
 
-    The project index — callee signatures and the validation closure —
-    is built over exactly this file set, so cross-file rules see the
-    same "package" the caller asked to lint.
+    RPR404 asks "does *any* test touch this frozen ``*_scalar``
+    reference?", so the scan is deliberately coarse: bare names,
+    attribute accesses and import aliases all count.  Unparsable test
+    files contribute nothing (pytest itself will fail on them long
+    before the linter matters).
     """
-    files = iter_python_files(Path(p) for p in paths)
+    names: Set[str] = set()
+    for path in iter_python_files([tests_dir]):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, ValueError):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[-1])
+    return frozenset(names)
+
+
+def parse_contexts(
+    paths: Sequence[Path],
+) -> Tuple[List[FileContext], List[Violation]]:
+    """``(contexts, errors)`` for a file set — shared by lint and freeze."""
     contexts: List[FileContext] = []
     errors: List[Violation] = []
-    for path in files:
+    for path in iter_python_files(Path(p) for p in paths):
         try:
             contexts.append(FileContext.from_path(path))
         except (SyntaxError, ValueError) as exc:
@@ -88,8 +120,114 @@ def lint_paths(
                     message=f"could not read file: {exc}",
                 )
             )
+    return contexts, errors
 
+
+def collect_frozen_digests(paths: Sequence[Path]) -> Dict[str, str]:
+    """``module::qualname -> digest`` for every ``*_scalar`` in ``paths``.
+
+    The ``--update-frozen`` source of truth; raises on unparsable files
+    (a manifest must never be regenerated around broken code).
+    """
+    contexts, errors = parse_contexts(paths)
+    if errors:
+        raise ManifestError(
+            "cannot freeze references with unparsable files: "
+            + "; ".join(e.format_text() for e in errors)
+        )
     index = ProjectIndex.build((ctx.module, ctx.tree) for ctx in contexts)
+    return {d.key: d.digest for d in index.scalar_defs()}
+
+
+def _reconcile_manifest(
+    manifest_path: Path,
+    manifest: Dict[str, str],
+    index: ProjectIndex,
+) -> List[Violation]:
+    """Manifest entries whose frozen function vanished from the tree."""
+    live_keys = {d.key for d in index.scalar_defs()}
+    stale = sorted(set(manifest) - live_keys)
+    return [
+        Violation(
+            path=str(manifest_path),
+            line=1,
+            col=0,
+            code=FROZEN_DRIFT_CODE,
+            message=(
+                f"manifest entry '{key}' has no matching *_scalar "
+                f"definition in the linted tree; a frozen reference was "
+                f"deleted or renamed — re-freeze deliberately with "
+                f"'repro-lint --update-frozen'"
+            ),
+        )
+        for key in stale
+    ]
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    *,
+    manifest: Optional[Path] = None,
+    check_frozen: bool = False,
+    tests_dir: Optional[Path] = None,
+) -> LintResult:
+    """Lint ``paths`` (files and/or directories) with the selected rules.
+
+    The project index — callee signatures, the validation closure and
+    the fast-path/frozen-reference parity pairs — is built over exactly
+    this file set, so cross-file rules see the same "package" the caller
+    asked to lint.
+
+    ``manifest`` names the frozen-digest manifest and arms RPR402 for
+    every ``*_scalar`` definition encountered; with ``check_frozen``
+    the reconciliation also runs in reverse (manifest entries whose
+    function vanished fail, anchored at the manifest file).
+    ``tests_dir`` arms RPR404 with the identifiers referenced under the
+    test tree.  Both default to ``None`` — fixture-level linting stays
+    self-contained.
+    """
+    contexts, errors = parse_contexts(paths)
+
+    manifest_digests: Optional[Dict[str, str]] = None
+    if manifest is not None:
+        if manifest.exists():
+            try:
+                manifest_digests = load_manifest(manifest)
+            except ManifestError as exc:
+                errors.append(
+                    Violation(
+                        path=str(manifest),
+                        line=1,
+                        col=0,
+                        code=PARSE_ERROR_CODE,
+                        message=str(exc),
+                    )
+                )
+        elif check_frozen:
+            errors.append(
+                Violation(
+                    path=str(manifest),
+                    line=1,
+                    col=0,
+                    code=PARSE_ERROR_CODE,
+                    message=(
+                        "frozen manifest not found; generate it with "
+                        "'repro-lint --update-frozen'"
+                    ),
+                )
+            )
+
+    test_names: Optional[FrozenSet[str]] = None
+    if tests_dir is not None and tests_dir.is_dir():
+        test_names = collect_test_names(tests_dir)
+
+    index = ProjectIndex.build(
+        ((ctx.module, ctx.tree) for ctx in contexts),
+        manifest=manifest_digests,
+        test_names=test_names,
+    )
     rules = select_rules(select=select, ignore=ignore)
 
     violations: List[Violation] = []
@@ -98,6 +236,12 @@ def lint_paths(
             for violation in rule.check(ctx, index):
                 if not ctx.is_suppressed(violation):
                     violations.append(violation)
+
+    if check_frozen and manifest is not None and manifest_digests is not None:
+        if any(r.code == FROZEN_DRIFT_CODE for r in rules):
+            violations.extend(
+                _reconcile_manifest(manifest, manifest_digests, index)
+            )
 
     return LintResult(
         violations=sorted(violations),

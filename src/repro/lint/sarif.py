@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 serialisation of a lint run.
+
+GitHub code scanning ingests SARIF, so CI uploads this report and every
+RPRxxx finding annotates the offending line of the PR diff.  The
+mapping is deliberately minimal: one ``run``, one ``tool.driver`` with
+the full rule catalogue (summary + remediation hint), one ``result``
+per violation.  Parse errors (RPR000) map to SARIF level ``error``;
+rule findings map to ``warning`` so code scanning distinguishes
+"unchecked code" from "convention violation" — the CLI exit code, not
+the SARIF level, is what gates the build.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.registry import Rule
+from repro.lint.runner import LintResult
+from repro.lint.violations import PARSE_ERROR_CODE, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_INFO_URI = "https://github.com/repro/repro/blob/main/docs/conventions.md"
+
+
+def _rule_entry(rule: Rule) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "id": rule.code,
+        "shortDescription": {"text": rule.summary},
+    }
+    if rule.hint:
+        entry["help"] = {"text": rule.hint}
+    return entry
+
+
+def _artifact_uri(path: str) -> str:
+    """Repo-relative, forward-slash URI when possible (SARIF wants URIs)."""
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _result(violation: Violation) -> Dict[str, object]:
+    return {
+        "ruleId": violation.code,
+        "level": "error" if violation.code == PARSE_ERROR_CODE else "warning",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(violation.path)
+                    },
+                    "region": {
+                        "startLine": max(violation.line, 1),
+                        # SARIF columns are 1-based; AST cols are 0-based.
+                        "startColumn": violation.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_payload(
+    result: LintResult, rules: Sequence[Rule]
+) -> Dict[str, object]:
+    """The SARIF document for one lint run as a JSON-ready dict."""
+    driver: Dict[str, object] = {
+        "name": TOOL_NAME,
+        "informationUri": TOOL_INFO_URI,
+        "rules": [_rule_entry(rule) for rule in rules],
+    }
+    results: List[Dict[str, object]] = [
+        _result(v) for v in (*result.errors, *result.violations)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(result: LintResult, rules: Sequence[Rule]) -> str:
+    return json.dumps(sarif_payload(result, rules), indent=2, sort_keys=False)

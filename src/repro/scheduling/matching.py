@@ -898,9 +898,14 @@ def min_weight_perfect_matching(
 
 def matching_cost(matching: Set[Tuple[int, int]],
                   costs: Dict[Tuple[int, int], float]) -> float:
-    """Total cost of a matching under a pair-cost map."""
+    """Total cost of a matching under a pair-cost map.
+
+    Accumulates in sorted pair order: summing in the set's hash order
+    would make the low bits of the total an artefact of insertion
+    history (RPR405).
+    """
     total = 0.0
-    for (i, j) in matching:
+    for (i, j) in sorted(matching):
         key = (i, j) if i < j else (j, i)
         total += costs[key]
     return total

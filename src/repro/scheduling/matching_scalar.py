@@ -541,7 +541,9 @@ def matching_cost_scalar(matching: Set[Tuple[int, int]],
                   costs: Dict[Tuple[int, int], float]) -> float:
     """Total cost of a matching under a pair-cost map."""
     total = 0.0
-    for (i, j) in matching:
+    # Frozen reference: hash-order accumulation is part of the frozen
+    # behaviour and must not be "fixed" to sorted order here.
+    for (i, j) in matching:  # repro-lint: disable=RPR405
         key = (i, j) if i < j else (j, i)
         total += costs[key]
     return total

@@ -126,7 +126,10 @@ def _arrival_times(clients: Sequence[ArrivalClient], horizon_s: float,
         t = 0.0
         needed = 0
         while True:
-            gaps = rng.exponential(scale, size=block)
+            # Block draws on a state snapshot: the stream is rewound
+            # below, so looping here never desyncs from the frozen
+            # per-draw reference.
+            gaps = rng.exponential(scale, size=block)  # repro-lint: disable=RPR403
             times = np.cumsum(np.concatenate(([t], gaps)))[1:]
             crossed = (times > horizon_s).nonzero()[0]
             if crossed.size:
@@ -135,7 +138,9 @@ def _arrival_times(clients: Sequence[ArrivalClient], horizon_s: float,
             needed += block
             t = float(times[-1])
         rng.bit_generator.state = snapshot
-        gaps = rng.exponential(scale, size=needed)
+        # One exact-size block per client — precisely the draws the
+        # frozen scalar loop would have consumed for this client.
+        gaps = rng.exponential(scale, size=needed)  # repro-lint: disable=RPR403
         times = np.cumsum(gaps)[:-1]
         events.extend(zip(times.tolist(), [client.name] * (needed - 1)))
     events.sort()

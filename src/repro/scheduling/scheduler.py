@@ -17,7 +17,7 @@ exactly the optimal pairing; slots can then run in any order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -322,7 +322,7 @@ class SicScheduler:
         chosen pairs' durations are read back from the cost graph
         (``pair_airtime_batch`` is pinned element-identical to the
         scalar ``pair_cost``) and the total accumulates in the same
-        slot order (pairs in matching order, then solos), so the
+        slot order (pairs in sorted matching order, then solos), so the
         division ``serial / total`` sees the same floats.  Trace
         evaluations (Fig. 13) call this per snapshot — they only plot
         gain CDFs, so building :class:`ScheduledSlot` tuples and
@@ -347,7 +347,9 @@ class SicScheduler:
         matching = min_weight_perfect_matching(costs, n_vertices)
         pair_keys: List[Tuple[int, int]] = []
         solo: List[int] = []
-        for (i, j) in matching:
+        # Sorted, not set order: the float total must accumulate in the
+        # same canonical order as _matching_to_schedule's slots (RPR405).
+        for (i, j) in sorted(matching):
             if dummy is not None and j == dummy:
                 solo.append(i)
             elif dummy is not None and i == dummy:
@@ -418,12 +420,15 @@ class SicScheduler:
         return Schedule(slots=tuple(slots), serial_time_s=serial)
 
     def _matching_to_schedule(self, clients: Sequence[UploadClient],
-                              matching, dummy: Optional[int],
+                              matching: Set[Tuple[int, int]],
+                              dummy: Optional[int],
                               precomputed: Optional[BacklogCosts] = None,
                               ) -> Schedule:
         pairs: List[Tuple[int, int]] = []
         solo: List[int] = []
-        for (i, j) in matching:
+        # Sorted, not set order: slot order (and thus the float total)
+        # must be a stated contract, not a hash-table accident (RPR405).
+        for (i, j) in sorted(matching):
             if dummy is not None and j == dummy:
                 solo.append(i)
             elif dummy is not None and i == dummy:

@@ -211,8 +211,11 @@ class DownlinkTraceGenerator:
         with maybe_phase(timer, "draw"):
             snr_rows = np.empty((cfg.n_locations, len(ap_xy)))
             for loc_idx in range(cfg.n_locations):
-                x = float(rng.uniform(0.0, cfg.corridor_length_m))
-                y = float(rng.uniform(0.0, cfg.corridor_depth_m))
+                # Per-location draws are the frozen stream: the scalar
+                # reference draws x-then-y per location before its block
+                # shadowing draw, so the fast path replays that order.
+                x = float(rng.uniform(0.0, cfg.corridor_length_m))  # repro-lint: disable=RPR403
+                y = float(rng.uniform(0.0, cfg.corridor_depth_m))  # repro-lint: disable=RPR403
                 distances = np.array(
                     [max(math.hypot(x - ap_x, y - ap_y), 1.0)
                      for ap_x, ap_y in ap_xy], dtype=float)

@@ -144,13 +144,17 @@ class UploadTraceGenerator:
             t = step * cfg.snapshot_interval_s
             factor = occupancy_factor(t, cfg.night_fraction)
             with maybe_phase(timer, "draw"):
-                n_active = int(rng.poisson(cfg.peak_clients * factor))
+                # Per-snapshot draws are the frozen stream: the scalar
+                # reference draws count-then-positions once per step, so
+                # the fast path must too (only the per-client RSS work
+                # is blocked below).
+                n_active = int(rng.poisson(cfg.peak_clients * factor))  # repro-lint: disable=RPR403
                 if n_active == 0:
                     if progress is not None:
                         progress(step + 1, n_steps)
                     continue
-                xs = rng.uniform(0.0, cfg.width_m, size=n_active)
-                ys = rng.uniform(0.0, cfg.height_m, size=n_active)
+                xs = rng.uniform(0.0, cfg.width_m, size=n_active)  # repro-lint: disable=RPR403
+                ys = rng.uniform(0.0, cfg.height_m, size=n_active)  # repro-lint: disable=RPR403
             with maybe_phase(timer, "rss"):
                 # math.hypot, not np.hypot: the scalar loop measures
                 # through Point.distance_to and np.hypot is 1 ulp off.

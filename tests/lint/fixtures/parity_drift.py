@@ -1,0 +1,54 @@
+"""Parity-discipline fixture: RPR401 / RPR403 / RPR405.
+
+Lint with ``select=["RPR4"]``: the pairs here are shaped like the real
+generators — the ``*_scalar`` twin is the frozen reference, the fast
+path drifts in exactly the ways the parity rules must catch.  RPR402
+(manifest) and RPR404 (test tree) need runner context and have their
+own tests.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+
+def resample_scalar(trace, width, rng):
+    out = []
+    for point in trace:
+        out.append(point * width + float(rng.normal()))
+    return out
+
+
+def resample(trace, scale, rng, workers):  # expect: RPR401
+    total = []
+    for point in trace:
+        total.append(point * scale + float(rng.normal()))  # expect: RPR403
+    return total
+
+
+def blend_scalar(a, b, gamma=0.5):
+    return a * gamma + b * (1.0 - gamma)
+
+
+def blend(a, b, gamma=0.25):  # expect: RPR401
+    return a * gamma + b * (1.0 - gamma)
+
+
+def shift_scalar(xs, offset):
+    return [x + offset for x in xs]
+
+
+def shift(xs, offset, chunk=8):
+    # Appended parameter with a default: frozen call sites still replay,
+    # so this pair is NOT a signature drift.
+    del chunk
+    return [x + offset for x in xs]
+
+
+def collect(pairs: Set[Tuple[int, int]],
+            costs: Dict[Tuple[int, int], float]) -> List[float]:
+    out: List[float] = []
+    for pair in pairs:  # expect: RPR405
+        out.append(costs[pair])
+    unordered = [costs[p] for p in pairs]  # expect: RPR405
+    for pair in sorted(pairs):
+        out.append(costs[pair])
+    return out + unordered

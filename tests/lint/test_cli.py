@@ -35,6 +35,26 @@ class TestExitCodes:
             main([str(FIXTURES / "bad_units.py"), "--select", "RPR999"])
         assert excinfo.value.code == 2
 
+    def test_unknown_ignore_code_exits_two(self, capsys):
+        # A typo in --ignore must not silently un-suppress nothing.
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(FIXTURES / "bad_units.py"), "--ignore", "RPR999"])
+        assert excinfo.value.code == 2
+
+    def test_select_missing_the_present_codes_exits_zero(self, capsys):
+        # bad_units.py violates RPR0xx only; selecting RPR1xx finds none.
+        assert main(
+            [str(FIXTURES / "bad_units.py"), "--select", "RPR101", "-q"]
+        ) == 0
+
+    def test_ignoring_some_of_mixed_violations_still_exits_one(self, capsys):
+        assert main(
+            [str(FIXTURES / "bad_units.py"), "--ignore", "RPR001,RPR002"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "RPR003" in out
+        assert "RPR001" not in out and "RPR002" not in out
+
 
 class TestOutputFormats:
     def test_text_lines_carry_location_and_code(self, capsys):
@@ -52,6 +72,139 @@ class TestOutputFormats:
         assert codes == {"RPR001", "RPR002", "RPR003"}
         first = payload["violations"][0]
         assert set(first) == {"path", "line", "col", "code", "message"}
+
+
+class TestSarifOutput:
+    def test_sarif_payload_is_valid_code_scanning_input(self, capsys):
+        code = main([str(FIXTURES / "bad_units.py"), "--format", "sarif"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert {"RPR001", "RPR402", "RPR405"} <= rule_ids
+        results = run["results"]
+        assert results and all(r["level"] == "warning" for r in results)
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad_units.py")
+        assert location["region"]["startLine"] >= 1
+
+    def test_output_writes_artifact_and_keeps_text_log(self, tmp_path, capsys):
+        artifact = tmp_path / "lint.sarif"
+        code = main(
+            [
+                str(FIXTURES / "bad_units.py"),
+                "--format",
+                "sarif",
+                "--output",
+                str(artifact),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(artifact.read_text())
+        assert payload["version"] == "2.1.0"
+        # CI logs stay readable: violations and summary still on stdout.
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "violations" in out
+
+    def test_quiet_output_run_emits_no_summary(self, tmp_path, capsys):
+        artifact = tmp_path / "lint.sarif"
+        main(
+            [
+                str(FIXTURES / "clean_units.py"),
+                "--format",
+                "sarif",
+                "--output",
+                str(artifact),
+                "-q",
+            ]
+        )
+        assert "violations" not in capsys.readouterr().out
+
+
+PAIR_SOURCE = (
+    "def gain_scalar(x, n):\n"
+    "    total = 0.0\n"
+    "    for k in range(n):\n"
+    "        total += x * k\n"
+    "    return total\n"
+    "\n"
+    "\n"
+    "def gain(x, n):\n"
+    "    return x * n * (n - 1) / 2.0\n"
+)
+
+
+class TestFrozenFlow:
+    def _module(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(PAIR_SOURCE)
+        return mod, tmp_path / "frozen.json"
+
+    def test_update_then_check_round_trips(self, tmp_path, capsys):
+        mod, manifest = self._module(tmp_path)
+        assert main(
+            [str(mod), "--update-frozen", "--manifest", str(manifest)]
+        ) == 0
+        assert "froze 1 reference" in capsys.readouterr().out
+        assert main(
+            [
+                str(mod),
+                "--manifest",
+                str(manifest),
+                "--check-frozen",
+                "--select",
+                "RPR402",
+                "-q",
+            ]
+        ) == 0
+
+    def test_mutated_frozen_reference_fails_check(self, tmp_path, capsys):
+        mod, manifest = self._module(tmp_path)
+        main([str(mod), "--update-frozen", "--manifest", str(manifest)])
+        capsys.readouterr()
+        mod.write_text(PAIR_SOURCE.replace("x * k", "x + k"))
+        assert main(
+            [
+                str(mod),
+                "--manifest",
+                str(manifest),
+                "--check-frozen",
+                "--select",
+                "RPR402",
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "RPR402" in out and "gain_scalar" in out
+
+    def test_check_without_manifest_exits_two(self, tmp_path, capsys):
+        mod, manifest = self._module(tmp_path)
+        assert main(
+            [
+                str(mod),
+                "--manifest",
+                str(manifest),
+                "--check-frozen",
+                "--select",
+                "RPR402",
+            ]
+        ) == 2
+        assert "--update-frozen" in capsys.readouterr().out
+
+    def test_update_frozen_refuses_unparsable_tree(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n")
+        assert main(
+            [
+                str(broken),
+                "--update-frozen",
+                "--manifest",
+                str(tmp_path / "frozen.json"),
+            ]
+        ) == 2
+        assert not (tmp_path / "frozen.json").exists()
 
 
 class TestRuleSelection:
@@ -72,6 +225,14 @@ class TestRuleSelection:
             ]
         ) == 0
 
+    def test_family_prefix_selects_the_whole_family(self, capsys):
+        assert main(
+            [str(FIXTURES / "bad_rng.py"), "--select", "RPR1", "-q"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "RPR10" in out
+        assert "RPR0" not in out and "RPR3" not in out
+
     def test_list_rules_names_every_family(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
@@ -87,5 +248,10 @@ class TestRuleSelection:
             "RPR301",
             "RPR302",
             "RPR305",
+            "RPR401",
+            "RPR402",
+            "RPR403",
+            "RPR404",
+            "RPR405",
         ):
             assert code in out

@@ -1,15 +1,18 @@
 """The acceptance gate: ``repro-lint`` must pass on the shipped tree.
 
-This is the same check CI's lint job runs; keeping it in the test suite
-means a convention regression fails ``pytest`` locally before it ever
-reaches CI.
+This is the same check CI's lint job runs — the full rule set, armed
+with the committed frozen manifest (RPR402, both directions) and the
+test tree (RPR404) — so a convention regression fails ``pytest``
+locally before it ever reaches CI.
 """
 
 from pathlib import Path
 
 from repro.lint import lint_paths
+from repro.lint.manifest import DEFAULT_MANIFEST_PATH
 
 SRC = Path(__file__).parents[2] / "src" / "repro"
+TESTS = Path(__file__).parents[1]
 
 
 def test_src_tree_is_convention_clean():
@@ -17,3 +20,15 @@ def test_src_tree_is_convention_clean():
     assert result.files_checked > 50
     assert [v.format_text() for v in result.violations] == []
     assert [e.format_text() for e in result.errors] == []
+
+
+def test_src_tree_passes_the_full_frozen_gate():
+    result = lint_paths(
+        [SRC],
+        manifest=DEFAULT_MANIFEST_PATH,
+        check_frozen=True,
+        tests_dir=TESTS,
+    )
+    assert [v.format_text() for v in result.violations] == []
+    assert [e.format_text() for e in result.errors] == []
+    assert result.exit_code() == 0

@@ -20,6 +20,7 @@ from repro.scheduling.matching import (
     min_weight_perfect_matching,
 )
 from repro.scheduling.matching_scalar import (
+    matching_cost_scalar,
     max_weight_matching_scalar,
     min_weight_perfect_matching_scalar,
 )
@@ -434,3 +435,23 @@ class TestScalarGoldenEquivalence:
         for maxcard in (False, True):
             assert max_weight_matching(edges, maxcardinality=maxcard) == \
                 max_weight_matching_scalar(edges, maxcardinality=maxcard)
+
+    def test_matching_cost_identical_to_scalar(self):
+        # matching_cost accumulates in sorted pair order while the
+        # frozen scalar keeps hash order, so use exactly-summable
+        # costs (multiples of 2^-4): any order gives the same bits,
+        # and a behavioural change in either twin still shows up.
+        rng = random.Random(42)
+        for _ in range(50):
+            n = rng.choice([4, 6, 8, 10])
+            costs = {(i, j): rng.randint(1, 512) / 16.0
+                     for i, j in itertools.combinations(range(n), 2)}
+            matching = min_weight_perfect_matching(costs, n)
+            fast = matching_cost(matching, costs)
+            ref = matching_cost_scalar(matching, costs)
+            assert fast == ref
+            # Reversed pairs must resolve through the same (i < j) key
+            # normalisation in both twins.
+            flipped = {(j, i) for (i, j) in matching}
+            assert matching_cost(flipped, costs) == \
+                matching_cost_scalar(flipped, costs) == ref
