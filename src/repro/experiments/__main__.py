@@ -5,6 +5,11 @@ Examples::
     python -m repro.experiments fig6
     python -m repro.experiments all --quick
     python -m repro.experiments claims --samples 2000
+
+Exit codes follow the operator taxonomy of :mod:`repro.util.errors`:
+``0`` ok, ``1`` fatal, ``2`` usage, ``3`` transient, ``4``
+corrupt-state, ``5`` resumable (interrupted with checkpoints flushed —
+rerun the same command to resume).
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ import json
 
 from repro.experiments import claims
 from repro.experiments.registry import REGISTRY, jsonify, run_experiment
+from repro.util.cache import atomic_write_text
+from repro.util.errors import run_cli
 
 #: Reduced parameters for --quick runs (CI-sized, same code paths).
 QUICK_KWARGS = {
@@ -53,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2010,
         help="Monte-Carlo seed (default 2010)")
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the Monte-Carlo figures "
+             "(results are identical for any count)")
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="samples per supervised chunk (enables checkpoint "
+             "granularity; results are identical for any size)")
+    parser.add_argument(
         "--report", type=Path, default=None, metavar="FILE",
         help="also write the output as a markdown report to FILE")
     parser.add_argument(
@@ -60,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump the raw figure data as JSON to FILE "
              "(single-figure runs only)")
     return parser
+
+
+#: Figures whose compute() threads the supervised-execution knobs.
+_SUPERVISED_FIGURES = ("fig6", "fig11", "fig13", "fig14")
 
 
 def _kwargs_for(figure: str, args: argparse.Namespace) -> dict:
@@ -71,6 +90,11 @@ def _kwargs_for(figure: str, args: argparse.Namespace) -> dict:
             kwargs["n_scenarios"] = args.samples
     if figure in ("fig6", "fig7", "fig11", "fig13", "fig14"):
         kwargs.setdefault("seed", args.seed)
+    if figure in _SUPERVISED_FIGURES:
+        if args.workers is not None:
+            kwargs["n_workers"] = args.workers
+        if args.chunk_size is not None:
+            kwargs["chunk_size"] = args.chunk_size
     return kwargs
 
 
@@ -103,10 +127,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         lines = [f"== {experiment.figure}: {experiment.description} =="] \
             + experiment.render(result)
         if args.json is not None:
-            args.json.write_text(
+            atomic_write_text(
+                args.json,
                 json.dumps({"figure": figure, "data": jsonify(result)},
-                           indent=2),
-                encoding="utf-8")
+                           indent=2))
             print(f"json written to {args.json}")
         for line in lines:
             print(line)
@@ -118,15 +142,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 + "\n".join(body) + "\n```\n")
     if args.report is not None:
         mode = "quick" if args.quick else "full-scale"
-        args.report.write_text(
+        atomic_write_text(
+            args.report,
             "# SIC reproduction — figure report\n\n"
             f"Generated by `python -m repro.experiments` ({mode} run, "
             f"seed {args.seed}).\n\n"
-            + "\n".join(report_sections),
-            encoding="utf-8")
+            + "\n".join(report_sections))
         print(f"report written to {args.report}")
     return 0
 
 
+def entry() -> int:
+    """Console-script entry: :func:`main` under the operator taxonomy."""
+    return run_cli("repro-experiments", main)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(entry())

@@ -16,6 +16,16 @@ run — while recovering from:
   pool deaths the supervisor degrades to in-process execution with a
   structured :class:`ExecutionDegradedWarning` — never a silent
   behaviour change;
+* **hung workers** — a :class:`Watchdog` (per-chunk deadline plus a
+  pool heartbeat, measured on an *injectable* clock so the policy is
+  testable without wall-clock sleeps) detects a wedged chunk or a
+  silent pool and routes recovery through the same rebuild path, so a
+  single stuck worker never stalls a sweep indefinitely;
+* **operator interrupts** — SIGINT/SIGTERM (delivered as
+  :class:`repro.util.errors.ResumableInterrupt` by the CLI layer) make
+  the supervisor flush every already-completed chunk to the checkpoint
+  store before the interrupt propagates, so an interrupted sweep loses
+  at most the chunks still in flight and resumes bit-identically;
 * **interruption** — with a checkpoint directory configured
   (``REPRO_CHECKPOINT_DIR`` or :attr:`ExecutionPolicy.checkpoint_dir`)
   every completed chunk is persisted atomically
@@ -34,6 +44,7 @@ randomness).
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future
 from concurrent.futures import ProcessPoolExecutor, wait
@@ -45,6 +56,7 @@ import numpy as np
 
 from repro.util.cache import ResultCache
 from repro.util.checkpoint import CheckpointStore, checkpoint_dir_from_env
+from repro.util.errors import ResumableInterrupt, TransientError
 from repro.util.faults import FaultInjector, RetryPolicy
 from repro.util.rng import SeedLike, spawn_seed_sequences
 
@@ -70,8 +82,13 @@ class ExecutionDegradedWarning(RuntimeWarning):
             "are unchanged, throughput is not")
 
 
-class ChunkExecutionError(RuntimeError):
-    """A chunk kept failing after exhausting its retry budget."""
+class ChunkExecutionError(TransientError, RuntimeError):
+    """A chunk kept failing after exhausting its retry budget.
+
+    Classified *transient* in the operator taxonomy: the computation is
+    pure, so exhausted retries indicate environment (OOM, flaky node),
+    and a rerun — resuming from checkpoints — may well succeed.
+    """
 
     def __init__(self, engine: str, chunk_index: int, attempts: int,
                  last_error: BaseException) -> None:
@@ -81,11 +98,92 @@ class ChunkExecutionError(RuntimeError):
         self.last_error = last_error
         super().__init__(
             f"engine {engine!r}: chunk {chunk_index} failed "
-            f"{attempts} attempt(s); last error: {last_error!r}")
+            f"{attempts} attempt(s); last error: {last_error!r}",
+            hint=("completed chunks are checkpointed when "
+                  "REPRO_CHECKPOINT_DIR is set; rerunning resumes from "
+                  "them"))
 
 
 class _PoolBroken(Exception):
     """Internal: the current pool round is unusable (rebuild or degrade)."""
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Hung-worker detection policy for pooled execution.
+
+    ``chunk_deadline_s`` bounds any single chunk attempt; a chunk still
+    running past it is declared hung and the pool round is broken (the
+    rebuild resubmits the chunk, restarting its clock).
+    ``heartbeat_interval_s`` bounds the gap between *any* two chunk
+    completions — a pool that completes nothing within it is wedged.
+    ``clock`` is injectable (``None`` means ``time.monotonic``), so
+    watchdog decisions are testable with a scripted clock and never
+    force tests to sleep.  Timing only ever decides *when* a chunk is
+    recomputed, never *what* it computes, so the bit-identity invariant
+    is untouched.
+    """
+
+    chunk_deadline_s: Optional[float] = None
+    heartbeat_interval_s: Optional[float] = None
+    clock: Optional[Callable[[], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_deadline_s is not None and self.chunk_deadline_s <= 0:
+            raise ValueError("chunk_deadline_s must be positive")
+        if (self.heartbeat_interval_s is not None
+                and self.heartbeat_interval_s <= 0):
+            raise ValueError("heartbeat_interval_s must be positive")
+
+    @property
+    def armed(self) -> bool:
+        return (self.chunk_deadline_s is not None
+                or self.heartbeat_interval_s is not None)
+
+
+class _WatchdogMonitor:
+    """Per-pool-round watchdog state: chunk start times + last heartbeat."""
+
+    def __init__(self, watchdog: Watchdog) -> None:
+        self._deadline = watchdog.chunk_deadline_s
+        self._heartbeat = watchdog.heartbeat_interval_s
+        self._clock = watchdog.clock or time.monotonic
+        self._last_beat = self._clock()
+        self._starts: Dict[int, float] = {}
+
+    def submitted(self, index: int) -> None:
+        """A chunk attempt entered the pool; its deadline clock restarts."""
+        self._starts[index] = self._clock()
+
+    def completed(self, index: int) -> None:
+        """A chunk attempt finished (success or failure): heartbeat."""
+        self._starts.pop(index, None)
+        self._last_beat = self._clock()
+
+    def wait_timeout(self) -> Optional[float]:
+        """How long the supervisor may block before it must re-check."""
+        now = self._clock()
+        cutoffs = []
+        if self._heartbeat is not None:
+            cutoffs.append(self._last_beat + self._heartbeat)
+        if self._deadline is not None and self._starts:
+            cutoffs.append(min(self._starts.values()) + self._deadline)
+        if not cutoffs:
+            return None
+        return max(0.0, min(cutoffs) - now)
+
+    def expired(self) -> Optional[str]:
+        """A human-readable reason when a limit has been crossed."""
+        now = self._clock()
+        if (self._heartbeat is not None
+                and now - self._last_beat >= self._heartbeat):
+            return f"no worker progress within {self._heartbeat:g}s"
+        if self._deadline is not None:
+            for index in sorted(self._starts):
+                if now - self._starts[index] >= self._deadline:
+                    return (f"chunk {index} exceeded its "
+                            f"{self._deadline:g}s deadline")
+        return None
 
 
 @dataclass(frozen=True)
@@ -98,6 +196,10 @@ class ExecutionPolicy:
     degrading to in-process execution, and checkpoints only when a
     directory is configured.  ``faults`` is the deterministic injector
     used by the resilience tests; production runs leave it ``None``.
+
+    ``watchdog`` supervises pooled rounds for hung workers; when it is
+    unset, a bare ``worker_timeout_s`` (the pre-watchdog knob, kept for
+    compatibility) arms a heartbeat-only watchdog.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -105,12 +207,21 @@ class ExecutionPolicy:
     worker_timeout_s: Optional[float] = None
     checkpoint_dir: Optional[Union[str, Path]] = None
     faults: Optional[FaultInjector] = None
+    watchdog: Optional[Watchdog] = None
 
     def __post_init__(self) -> None:
         if self.max_pool_rebuilds < 0:
             raise ValueError("max_pool_rebuilds must be non-negative")
         if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
             raise ValueError("worker_timeout_s must be positive")
+
+    def effective_watchdog(self) -> Optional[Watchdog]:
+        """The armed watchdog for pooled rounds, or ``None``."""
+        if self.watchdog is not None:
+            return self.watchdog if self.watchdog.armed else None
+        if self.worker_timeout_s is not None:
+            return Watchdog(heartbeat_interval_s=self.worker_timeout_s)
+        return None
 
     @classmethod
     def from_env(cls) -> "ExecutionPolicy":
@@ -303,27 +414,44 @@ class _Supervisor:
         workers = min(n_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures: Dict[Future, int] = {}
+            monitor = None
+            watchdog = self.policy.effective_watchdog()
+            if watchdog is not None:
+                monitor = _WatchdogMonitor(watchdog)
             try:
                 for index in pending:
                     futures[pool.submit(
                         _guarded_chunk, *self._submit_args(index))] = index
-                self._drain(pool, futures)
+                    if monitor is not None:
+                        monitor.submitted(index)
+                self._drain(pool, futures, monitor)
             except BrokenExecutor as exc:
                 raise _PoolBroken(str(exc) or type(exc).__name__) from exc
 
     def _drain(self, pool: ProcessPoolExecutor,
-               futures: Dict[Future, int]) -> None:
-        timeout = self.policy.worker_timeout_s
+               futures: Dict[Future, int],
+               monitor: Optional[_WatchdogMonitor]) -> None:
+        try:
+            self._drain_inner(pool, futures, monitor)
+        except (KeyboardInterrupt, ResumableInterrupt):
+            # Operator interrupt: flush every chunk whose future already
+            # completed into the checkpoint store, then let the
+            # interrupt propagate — the run exits "resumable" having
+            # lost only the chunks still in flight.
+            self._flush_completed(futures)
+            raise
+
+    def _drain_inner(self, pool: ProcessPoolExecutor,
+                     futures: Dict[Future, int],
+                     monitor: Optional[_WatchdogMonitor]) -> None:
         while futures:
+            timeout = monitor.wait_timeout() if monitor is not None else None
             done, _ = wait(frozenset(futures), timeout=timeout,
                            return_when=FIRST_COMPLETED)
-            if not done:
-                for future in futures:
-                    future.cancel()
-                raise _PoolBroken(
-                    f"no worker progress within {timeout:g}s")
             for future in done:
                 index = futures.pop(future)
+                if monitor is not None:
+                    monitor.completed(index)
                 try:
                     chunk = future.result()
                 except BrokenExecutor:
@@ -332,8 +460,24 @@ class _Supervisor:
                     self._record_chunk_failure(index, exc)
                     futures[pool.submit(
                         _guarded_chunk, *self._submit_args(index))] = index
+                    if monitor is not None:
+                        monitor.submitted(index)
                 else:
                     self._finish_chunk(index, chunk)
+            if monitor is not None:
+                reason = monitor.expired()
+                if reason is not None:
+                    for future in futures:
+                        future.cancel()
+                    raise _PoolBroken(reason)
+
+    def _flush_completed(self, futures: Dict[Future, int]) -> None:
+        """Persist chunks whose futures already finished successfully."""
+        for future, index in list(futures.items()):
+            if not future.done() or future.cancelled():
+                continue
+            if future.exception() is None:
+                self._finish_chunk(index, future.result())
 
 
 # ---------------------------------------------------------------------------

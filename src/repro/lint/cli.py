@@ -2,6 +2,8 @@
 
 Exit codes: 0 clean, 1 violations found, 2 when files could not be
 parsed/read (unchecked code must fail the build too) or on bad usage.
+Those three keep their historical meaning; the operator taxonomy of
+:mod:`repro.util.errors` only adds codes on top (5 = interrupted).
 
 Frozen-reference discipline::
 
@@ -28,6 +30,8 @@ from repro.lint.manifest import (
 )
 from repro.lint.registry import all_rules
 from repro.lint.runner import LintResult, collect_frozen_digests, lint_paths
+from repro.util.cache import atomic_write_text
+from repro.util.errors import run_cli
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -218,7 +222,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     report = _render(result, args.format)
     if args.output:
-        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        atomic_write_text(Path(args.output), report + "\n")
         text = _format_text(result)
         if text:
             print(text)
@@ -229,5 +233,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return result.exit_code()
 
 
+def entry() -> int:
+    """Console-script entry: :func:`main` under the operator taxonomy."""
+    return run_cli("repro-lint", main)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(entry())

@@ -69,7 +69,9 @@ def save_manifest(path: Path, digests: Mapping[str, str]) -> None:
         "version": _FORMAT_VERSION,
         "frozen": {key: digests[key] for key in sorted(digests)},
     }
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=False) + "\n",
-        encoding="utf-8",
-    )
+    # Atomic publish: a crash mid-freeze must not leave a torn manifest
+    # that RPR402 would then read as "everything drifted".
+    from repro.util.cache import atomic_write_text
+
+    atomic_write_text(path,
+                      json.dumps(payload, indent=2, sort_keys=False) + "\n")

@@ -21,11 +21,21 @@ evaluated once at import and shared by every caller, so any mutation —
 or identity-sensitive caching — leaks across calls; frozen dataclasses
 merely hide the hazard until someone adds a mutable field.  Default to
 ``None`` and construct inside.
+
+RPR306 is durability hygiene: a bare ``open(path, "w")`` or
+``Path.write_text`` publishes bytes under the final name while they are
+still being written, so a crash mid-write leaves a torn file that later
+reads as valid.  Durable writes must go through the atomic helpers
+(``repro.util.cache.atomic_write_*``: tmp file + ``os.replace``), which
+also gives them named fault-injection sites the crash-point matrix can
+kill.  The tmp half of an atomic writer is the one legitimate raw write
+and carries the suppression pragma.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import FrozenSet, Iterator, Set
 
 from repro.lint.context import FileContext
@@ -260,3 +270,67 @@ class InstanceDefaultArgumentRule(Rule):
                     if name[:1].isupper() and not name.isupper():
                         yield ctx.make_violation(call, self.code,
                                                  self.summary)
+
+
+#: A constant string that reads as an ``open()`` mode.
+_MODE_RE = re.compile(r"^[rwaxbt+U]{1,4}$")
+
+
+def _open_mode(node: ast.Call) -> str:
+    """The constant mode string of an ``open``-style call, or ``"r"``.
+
+    The mode is positional arg 0 for ``Path.open`` and arg 1 for the
+    builtin, so the first of the leading two positionals (or a
+    ``mode=`` keyword) that *looks like* a mode string wins.  Dynamic
+    modes are unknowable and never flagged.
+    """
+    candidates = list(node.args[:2])
+    candidates.extend(k.value for k in node.keywords if k.arg == "mode")
+    for expr in candidates:
+        if (isinstance(expr, ast.Constant) and isinstance(expr.value, str)
+                and _MODE_RE.match(expr.value)):
+            return expr.value
+    return "r"
+
+
+@register
+class NonAtomicWriteRule(Rule):
+    """RPR306 — a raw durable write bypassing the atomic-write helpers.
+
+    Fires on ``open(..., "w"/"a"/"x"/"+")`` (builtin and ``Path.open``
+    alike) and on ``.write_text`` / ``.write_bytes`` calls.  A raw
+    write publishes under the final filename while the bytes are still
+    in flight: a crash mid-write leaves a torn file that a later run
+    may read as valid, and the write is invisible to the I/O
+    fault-injection sites the crash-point matrix enumerates.  Route
+    durable writes through ``repro.util.cache.atomic_write_bytes`` /
+    ``atomic_write_text`` / ``atomic_write_npz`` (or an equivalent
+    tmp + ``os.replace`` writer whose raw half carries the pragma).
+    """
+
+    code = "RPR306"
+    summary = (
+        "raw write to a durable path (torn on crash, invisible to fault "
+        "injection); use repro.util.cache.atomic_write_* instead"
+    )
+    hint = (
+        "write via atomic_write_text/bytes/npz, or stream into a tmp "
+        "file published with os.replace and suppress the tmp write"
+    )
+
+    _WRITERS = frozenset({"write_text", "write_bytes"})
+
+    def check(self, ctx: FileContext, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in self._WRITERS:
+                yield ctx.make_violation(node, self.code, self.summary)
+                continue
+            is_open = (
+                (isinstance(func, ast.Name) and func.id == "open")
+                or (isinstance(func, ast.Attribute) and func.attr == "open")
+            )
+            if is_open and any(c in _open_mode(node) for c in "wax+"):
+                yield ctx.make_violation(node, self.code, self.summary)

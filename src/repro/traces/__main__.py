@@ -5,6 +5,11 @@ Generate the synthetic trace files the Section-7 evaluations consume::
     python -m repro.traces upload --out building.jsonl --days 14
     python -m repro.traces downlink --out campaign.jsonl --locations 100
     python -m repro.traces inspect building.jsonl
+
+Exit codes follow the operator taxonomy of :mod:`repro.util.errors`:
+``0`` ok, ``1`` fatal, ``2`` usage, ``4`` corrupt-state (a torn or
+malformed trace file — inspect it before regenerating), ``5``
+resumable (interrupted cleanly).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.traces.io import (
     write_upload_trace,
 )
 from repro.traces.synthetic import UploadTraceConfig, UploadTraceGenerator
+from repro.util.errors import CorruptStateError, run_cli
 from repro.util.timing import PhaseTimer
 
 
@@ -118,11 +124,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     with args.path.open("r", encoding="utf-8") as fh:
         header_line = fh.readline()
     if not header_line:
-        print(f"{args.path}: empty file", file=sys.stderr)
-        return 2
-    kind = json.loads(header_line).get("kind")
+        raise CorruptStateError(
+            f"{args.path}: empty trace file",
+            hint="regenerate it with 'python -m repro.traces upload/"
+                 "downlink'")
+    try:
+        header = json.loads(header_line)
+    except ValueError as exc:
+        raise CorruptStateError(
+            f"{args.path}: unreadable trace header ({exc})",
+            hint="the file is torn or not a trace; regenerate it") from exc
+    kind = header.get("kind") if isinstance(header, dict) else None
     if kind == "upload-trace":
-        trace = read_upload_trace(args.path)
+        trace = _read_or_corrupt(read_upload_trace, args.path)
         sizes = [s.n_clients for s in trace.busy_snapshots(2)]
         print(f"upload trace '{trace.building}': {len(trace)} snapshots, "
               f"{trace.duration_s / 86400:.1f} days, APs: "
@@ -132,7 +146,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                   f"(clients per AP: min {min(sizes)}, max {max(sizes)})")
         return 0
     if kind == "downlink-measurements":
-        measurements = read_downlink_measurements(args.path)
+        measurements = _read_or_corrupt(read_downlink_measurements,
+                                        args.path)
         n_aps = len(measurements[0].ap_names) if measurements else 0
         print(f"downlink campaign: {len(measurements)} locations x "
               f"{n_aps} APs")
@@ -140,8 +155,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             snrs = [snr for m in measurements for snr in m.snr_db.values()]
             print(f"SNR range: {min(snrs):.1f} .. {max(snrs):.1f} dB")
         return 0
-    print(f"{args.path}: unknown trace kind {kind!r}", file=sys.stderr)
-    return 2
+    raise CorruptStateError(
+        f"{args.path}: unknown trace kind {kind!r}",
+        hint="expected 'upload-trace' or 'downlink-measurements'")
+
+
+def _read_or_corrupt(reader, path: Path):
+    """Run a trace reader, reclassifying parse failures as corrupt-state."""
+    try:
+        return reader(path)
+    except ValueError as exc:
+        raise CorruptStateError(
+            f"{path}: malformed trace ({exc})",
+            hint="the file is torn or hand-edited; regenerate it") from exc
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -153,5 +179,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _cmd_inspect(args)
 
 
+def entry() -> int:
+    """Console-script entry: :func:`main` under the operator taxonomy."""
+    return run_cli("repro-traces", main)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(entry())

@@ -3,13 +3,19 @@
 One JSON object per line: upload traces carry a header line followed by
 one line per AP snapshot; downlink campaigns carry one line per
 location.  JSONL keeps multi-week traces streamable and diff-friendly.
+
+Writers stream into a tmp file and publish with ``os.replace``, so a
+process dying mid-write never leaves a torn trace under the final
+name — readers either see the previous complete file or the new one.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import List, Union
+from typing import Iterator, List, TextIO, Union
 
 from repro.traces.records import (
     ApSnapshot,
@@ -21,10 +27,26 @@ from repro.traces.records import (
 PathLike = Union[str, Path]
 
 
+@contextmanager
+def _atomic_open(path: Path) -> Iterator[TextIO]:
+    """Stream text into ``path`` via tmp file + atomic ``os.replace``."""
+    tmp_path = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        # The tmp half of an atomic publish is the legitimate raw write.
+        with tmp_path.open("w", encoding="utf-8") as fh:  # repro-lint: disable=RPR306
+            yield fh
+        os.replace(tmp_path, path)
+    finally:
+        try:
+            tmp_path.unlink()
+        except OSError:
+            pass
+
+
 def write_upload_trace(trace: UploadTrace, path: PathLike) -> None:
     """Write an upload trace as JSONL (header + one line per snapshot)."""
     path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
+    with _atomic_open(path) as fh:
         header = {
             "kind": "upload-trace",
             "building": trace.building,
@@ -79,7 +101,7 @@ def write_downlink_measurements(measurements: List[DownlinkMeasurement],
                                 path: PathLike) -> None:
     """Write a downlink campaign as JSONL (one line per location)."""
     path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
+    with _atomic_open(path) as fh:
         header = {"kind": "downlink-measurements", "count": len(measurements)}
         fh.write(json.dumps(header) + "\n")
         for m in measurements:

@@ -19,9 +19,22 @@ verifies it after loading.  An entry that fails to load or fails
 verification is **quarantined** — moved (never deleted) into a
 ``corrupt/`` subdirectory for post-mortem inspection — counted on
 :attr:`ResultCache.quarantined`, and reported as a miss so callers
-recompute.  Both the payload and the sidecar are written via
-tmp-file + ``os.replace``, so a crash mid-write can never leave a
-half-written entry that later reads as valid.
+recompute.  Quarantined files are renamed with a short digest of their
+content, so quarantining the same entry name twice (e.g. across two
+resumed runs) preserves both generations instead of clobbering.
+Orphaned halves are corrupt too: a payload whose sidecar file vanished,
+or a sidecar whose payload vanished, is quarantined and recomputed — a
+sidecar that exists but predates content digests still loads
+unverified, so old caches never hit a flag day.  Both the payload and
+the sidecar are written via tmp-file + ``os.replace``, so a crash
+mid-write can never leave a half-written entry that later reads as
+valid.
+
+Every durable write and publish runs through a named **I/O site**
+(``cache.payload.write``, ``cache.payload.replace``, ...) intercepted
+by :mod:`repro.util.iofaults`, which is how the crash-point matrix
+(:mod:`repro.util.crashmatrix`) simulates torn writes, ``ENOSPC`` and
+process death at every one of these boundaries.
 
 The cache root resolves in this order:
 
@@ -42,6 +55,8 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
+
+from repro.util import iofaults
 
 #: Environment variable naming the cache directory (enables caching).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -96,26 +111,75 @@ def array_digest(arrays: Mapping[str, np.ndarray]) -> str:
     return digest.hexdigest()
 
 
-def atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` via tmp file + atomic ``os.replace``."""
+def atomic_write_bytes(path: Path, payload: bytes,
+                       site: str = "io") -> None:
+    """Write ``payload`` to ``path`` via tmp file + atomic ``os.replace``.
+
+    ``site`` names the I/O boundary for fault injection: the tmp write
+    runs through ``<site>.write`` and the publish through
+    ``<site>.replace`` (see :mod:`repro.util.iofaults`).
+    """
     tmp_path = path.with_name(f"{path.name}.tmp{os.getpid()}")
     try:
-        tmp_path.write_bytes(payload)
-        os.replace(tmp_path, path)
+        iofaults.trip_write(f"{site}.write", tmp_path)
+        # The atomic-write helper is the one legitimate raw write site.
+        tmp_path.write_bytes(payload)  # repro-lint: disable=RPR306
+        iofaults.checked_replace(f"{site}.replace", tmp_path, path)
     finally:
         _unlink_quietly(tmp_path)
 
 
-def atomic_write_text(path: Path, text: str) -> None:
+def atomic_write_text(path: Path, text: str, site: str = "io") -> None:
     """Text flavour of :func:`atomic_write_bytes` (UTF-8)."""
-    atomic_write_bytes(path, text.encode("utf-8"))
+    atomic_write_bytes(path, text.encode("utf-8"), site=site)
 
 
-def quarantine_paths(root: Path, *paths: Path) -> int:
+def atomic_write_npz(path: Path, arrays: Mapping[str, np.ndarray],
+                     site: str = "io") -> None:
+    """Write named arrays as one npz via tmp file + atomic ``os.replace``.
+
+    Shared by the result cache and the checkpoint store so both expose
+    the same ``<site>.write`` / ``<site>.replace`` fault-injection
+    boundaries around their payloads.
+    """
+    tmp_path = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        iofaults.trip_write(f"{site}.write", tmp_path)
+        # Streaming into the tmp half of an atomic publish.
+        with open(tmp_path, "wb") as handle:  # repro-lint: disable=RPR306
+            np.savez_compressed(handle, **dict(arrays))
+        iofaults.checked_replace(f"{site}.replace", tmp_path, path)
+    finally:
+        _unlink_quietly(tmp_path)
+
+
+def _quarantine_name(path: Path) -> str:
+    """Collision-proof quarantine filename: tag with a content digest.
+
+    ``chunk_000001.npz`` quarantined twice across two resumed runs must
+    not clobber the first post-mortem copy, so the destination carries
+    the first 12 hex digits of the file's SHA-256.  Identical content
+    maps to an identical name (overwriting a byte-identical copy is
+    harmless); unreadable files fall back to a stable tag and are
+    disambiguated by :func:`quarantine_paths` if needed.
+    """
+    try:
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()[:12]
+    except OSError:
+        digest = "unreadable"
+    return f"{path.stem}.{digest}{path.suffix}"
+
+
+def quarantine_paths(root: Path, *paths: Path,
+                     site: str = "quarantine") -> int:
     """Move ``paths`` into ``root/corrupt/`` (never delete); count moves.
 
-    Concurrent quarantines of the same entry tolerate each other: a
-    path that vanished mid-move is simply skipped.
+    Destination names carry a content-digest tag
+    (:func:`_quarantine_name`), so repeat quarantines of the same entry
+    name preserve every distinct generation.  Concurrent quarantines of
+    the same entry tolerate each other: a path that vanished mid-move
+    is simply skipped.  The move publishes through the ``<site>.replace``
+    fault-injection boundary.
     """
     quarantine_dir = root / QUARANTINE_DIRNAME
     moved = 0
@@ -124,8 +188,15 @@ def quarantine_paths(root: Path, *paths: Path) -> int:
     except OSError:
         return 0
     for path in paths:
+        destination = quarantine_dir / _quarantine_name(path)
+        if destination.exists() and ".unreadable" in destination.name:
+            serial = 2
+            while destination.exists():
+                destination = quarantine_dir / (
+                    f"{path.stem}.unreadable{serial}{path.suffix}")
+                serial += 1
         try:
-            os.replace(path, quarantine_dir / path.name)
+            iofaults.checked_replace(f"{site}.replace", path, destination)
             moved += 1
         except OSError:
             continue
@@ -179,9 +250,11 @@ class ResultCache:
     def _expected_digest(self, meta_path: Path) -> Optional[str]:
         """The content digest recorded in the sidecar, if any.
 
-        Entries written before digests existed (or whose sidecar was
-        lost) return ``None`` and are loaded unverified — integrity is
-        opt-in per entry, never a flag-day for existing caches.
+        Entries whose sidecar predates content digests (present and
+        readable, no ``sha256`` field) return ``None`` and are loaded
+        unverified — integrity is opt-in per entry, never a flag-day
+        for existing caches.  A *missing or unreadable* sidecar is the
+        orphaned-payload case and is handled as corrupt by ``get``.
         """
         try:
             meta = json.loads(meta_path.read_text(encoding="utf-8"))
@@ -192,20 +265,29 @@ class ResultCache:
 
     def _quarantine(self, *paths: Path) -> None:
         assert self.root is not None
-        if quarantine_paths(self.root, *paths):
+        if quarantine_paths(self.root, *paths, site="cache.quarantine"):
             self.quarantined += 1
 
     def get(self, key_parts: Mapping[str, object]
             ) -> Optional[Dict[str, np.ndarray]]:
         """The stored arrays for this key, or ``None`` on a miss.
 
-        A corrupt entry (unreadable npz, or content digest differing
-        from the sidecar's) is quarantined and reported as a miss.
+        A corrupt entry is quarantined and reported as a miss.  Corrupt
+        means: unreadable npz, content digest differing from the
+        sidecar's, or an orphaned half — payload without its sidecar
+        *file* (a crash between the two publishes), or sidecar without
+        its payload.  Both halves are quarantined together so no stale
+        remnant can pair up with a later write.
         """
         if not self.enabled:
             return None
         data_path, meta_path = self._paths(key_parts)
         if not data_path.exists():
+            if meta_path.exists():  # orphaned sidecar: quarantine, miss
+                self._quarantine(meta_path)
+            return None
+        if not meta_path.exists():  # orphaned payload: quarantine, miss
+            self._quarantine(data_path)
             return None
         try:
             with np.load(data_path) as archive:
@@ -233,17 +315,12 @@ class ResultCache:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             data_path, meta_path = self._paths(key_parts)
-            tmp_path = data_path.with_name(f"{data_path.name}.tmp{os.getpid()}")
-            try:
-                with open(tmp_path, "wb") as handle:
-                    np.savez_compressed(handle, **dict(arrays))
-                os.replace(tmp_path, data_path)
-            finally:
-                _unlink_quietly(tmp_path)
+            atomic_write_npz(data_path, arrays, site="cache.payload")
             meta = dict(_canonical(key_parts))
             meta["sha256"] = array_digest(arrays)
             atomic_write_text(meta_path,
-                              json.dumps(meta, sort_keys=True, indent=1))
+                              json.dumps(meta, sort_keys=True, indent=1),
+                              site="cache.sidecar")
         except OSError:
             return
 

@@ -37,6 +37,7 @@ import numpy as np
 from repro.util.cache import (
     _canonical,
     array_digest,
+    atomic_write_npz,
     atomic_write_text,
     quarantine_paths,
     stable_hash,
@@ -92,15 +93,31 @@ class CheckpointStore:
     def _write_manifest(self) -> None:
         try:
             self.run_dir.mkdir(parents=True, exist_ok=True)
+            if self.manifest_path.exists() and not self._manifest_usable():
+                # A torn or foreign manifest must not shadow the run
+                # metadata forever: set it aside and write a fresh one.
+                self._quarantine(self.manifest_path)
             if not self.manifest_path.exists():
                 manifest = {"format": MANIFEST_FORMAT,
                             "n_chunks": self.n_chunks,
                             "key": _canonical(self.run_key)}
                 atomic_write_text(
                     self.manifest_path,
-                    json.dumps(manifest, sort_keys=True, indent=1))
+                    json.dumps(manifest, sort_keys=True, indent=1),
+                    site="checkpoint.manifest")
         except OSError:
             pass
+
+    def _manifest_usable(self) -> bool:
+        """Whether the on-disk manifest parses and matches this run."""
+        try:
+            manifest = json.loads(
+                self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        return (isinstance(manifest, dict)
+                and manifest.get("format") == MANIFEST_FORMAT
+                and manifest.get("n_chunks") == self.n_chunks)
 
     # -- chunk persistence ------------------------------------------------
 
@@ -111,21 +128,12 @@ class CheckpointStore:
         data_path, meta_path = self._chunk_paths(chunk_index)
         try:
             self.run_dir.mkdir(parents=True, exist_ok=True)
-            tmp_path = data_path.with_name(
-                f"{data_path.name}.tmp{os.getpid()}")
-            try:
-                with open(tmp_path, "wb") as handle:
-                    np.savez_compressed(handle, **dict(arrays))
-                os.replace(tmp_path, data_path)
-            finally:
-                try:
-                    tmp_path.unlink()
-                except OSError:
-                    pass
+            atomic_write_npz(data_path, arrays, site="checkpoint.payload")
             sidecar = {"chunk_index": chunk_index,
                        "sha256": array_digest(arrays)}
             atomic_write_text(meta_path,
-                              json.dumps(sidecar, sort_keys=True, indent=1))
+                              json.dumps(sidecar, sort_keys=True, indent=1),
+                              site="checkpoint.sidecar")
         except OSError:
             return
 
@@ -136,11 +144,15 @@ class CheckpointStore:
         A chunk whose payload fails to load, whose sidecar is missing
         or unreadable, or whose content digest mismatches is moved to
         ``corrupt/`` and reported missing, so the supervisor recomputes
-        it instead of poisoning the merged sweep.
+        it instead of poisoning the merged sweep.  Orphaned halves go
+        the same way in both orientations: payload without sidecar
+        *and* sidecar without payload are quarantined.
         """
         self._check_index(chunk_index)
         data_path, meta_path = self._chunk_paths(chunk_index)
         if not data_path.exists():
+            if meta_path.exists():  # orphaned sidecar: quarantine, miss
+                self._quarantine(meta_path)
             return None
         expected = self._sidecar_digest(meta_path)
         try:
@@ -179,5 +191,6 @@ class CheckpointStore:
         return digest if isinstance(digest, str) else None
 
     def _quarantine(self, *paths: Path) -> None:
-        if quarantine_paths(self.run_dir, *paths):
+        if quarantine_paths(self.run_dir, *paths,
+                            site="checkpoint.quarantine"):
             self.quarantined += 1

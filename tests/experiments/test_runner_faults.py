@@ -221,7 +221,7 @@ class TestCheckpointResume:
                           chunk_size=50, policy=policy)
         assert len(calls) == 1  # only the quarantined chunk
         assert np.array_equal(out["x"], ref["x"])
-        assert (run_dir / "corrupt" / "chunk_000001.npz").exists()
+        assert list((run_dir / "corrupt").glob("chunk_000001.*.npz"))
 
     def test_env_variable_enables_checkpointing(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CHECKPOINT_DIR_ENV, str(tmp_path))

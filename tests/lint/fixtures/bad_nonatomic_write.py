@@ -1,0 +1,69 @@
+"""Durability-hygiene fixture (RPR306): raw writes to durable paths."""
+
+import json
+import os
+from pathlib import Path
+
+
+def save_report(path, payload):
+    path.write_text(json.dumps(payload))  # expect: RPR306
+
+
+def save_blob(path, blob):
+    path.write_bytes(blob)  # expect: RPR306
+
+
+def append_log(path, line):
+    with open(path, "a", encoding="utf-8") as fh:  # expect: RPR306
+        fh.write(line + "\n")
+
+
+def stream_records(path, records):
+    with path.open("w", encoding="utf-8") as fh:  # expect: RPR306
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+def exclusive_create(path):
+    with open(path, mode="x") as fh:  # expect: RPR306
+        fh.write("once")
+
+
+def update_in_place(path):
+    with open(path, "r+") as fh:  # expect: RPR306
+        fh.write("patch")
+
+
+def read_config(path):
+    # Fine: reads are not durability hazards.
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def read_default_mode(path):
+    # Fine: open() defaults to read mode.
+    with path.open() as fh:
+        return fh.readline()
+
+
+def atomic_writer(path, text):
+    # Fine with the pragma: the tmp half of an atomic publish.
+    tmp_path = path.with_name(path.name + ".tmp")
+    tmp_path.write_text(text)  # repro-lint: disable=RPR306
+    os.replace(tmp_path, path)
+
+
+def dynamic_mode(path, mode):
+    # Fine: an unknowable mode is not flagged (no guessing).
+    with open(path, mode) as fh:
+        return fh
+
+
+def unrelated_write_text(widget):
+    # Flagged: the rule is name-based and cannot see types; a widget
+    # method that happens to be called write_text needs the pragma.
+    widget.write_text("label")  # expect: RPR306
+
+
+def default_destination():
+    return Path("out.json")

@@ -156,6 +156,56 @@ class TestInstanceDefaultFixture:
         assert lint_found(target) == {("RPR305", 3)}
 
 
+class TestNonAtomicWriteFixture:
+    def test_exact_codes_and_lines(self):
+        path = FIXTURES / "bad_nonatomic_write.py"
+        assert lint_found(path) == expected_markers(path)
+
+    def test_markers_cover_the_code(self):
+        codes = {
+            code
+            for code, _ in expected_markers(
+                FIXTURES / "bad_nonatomic_write.py")
+        }
+        assert codes == {"RPR306"}
+
+    def test_reads_and_pragma_sites_not_flagged(self):
+        # read_config()/read_default_mode()/atomic_writer()/
+        # dynamic_mode() must stay clean: reads, unknowable modes, and
+        # the pragma-carrying tmp write of an atomic publish.
+        path = FIXTURES / "bad_nonatomic_write.py"
+        ok_lines = {
+            lineno
+            for lineno, text in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            )
+            if '"r"' in text or "path.open()" in text
+            or "disable=RPR306" in text or "open(path, mode)" in text
+        }
+        assert ok_lines
+        assert not {
+            line for _, line in lint_found(path) if line in ok_lines
+        }
+
+    def test_fires_in_any_package(self, tmp_path):
+        # Like RPR304/305, no package gate: a torn-on-crash write is a
+        # defect wherever it appears.
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "def save(path, text):\n"
+            "    path.write_text(text)\n"
+        )
+        assert lint_found(target) == {("RPR306", 2)}
+
+    def test_keyword_write_mode_flagged(self, tmp_path):
+        target = tmp_path / "tool.py"
+        target.write_text(
+            "def save(path):\n"
+            "    return open(path, mode='wb')\n"
+        )
+        assert lint_found(target) == {("RPR306", 2)}
+
+
 class TestScopeOfRule:
     def test_wall_clock_fine_outside_result_pipelines(self, tmp_path):
         target = tmp_path / "tool.py"

@@ -4,6 +4,7 @@ import pytest
 
 from repro.traces.__main__ import main
 from repro.traces.io import read_downlink_measurements, read_upload_trace
+from repro.util.errors import EXIT_CORRUPT_STATE, run_cli
 
 
 class TestUploadCommand:
@@ -79,12 +80,23 @@ class TestInspectCommand:
         assert main(["inspect", str(out)]) == 0
         assert "downlink campaign" in capsys.readouterr().out
 
-    def test_inspect_unknown_kind(self, tmp_path, capsys):
+    def test_inspect_unknown_kind_is_corrupt_state(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text('{"kind": "mystery"}\n')
-        assert main(["inspect", str(bad)]) == 2
+        rc = run_cli("repro-traces", lambda: main(["inspect", str(bad)]))
+        assert rc == EXIT_CORRUPT_STATE
+        assert "corrupt-state" in capsys.readouterr().err
 
-    def test_inspect_empty_file(self, tmp_path):
+    def test_inspect_empty_file_is_corrupt_state(self, tmp_path, capsys):
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
-        assert main(["inspect", str(empty)]) == 2
+        rc = run_cli("repro-traces", lambda: main(["inspect", str(empty)]))
+        assert rc == EXIT_CORRUPT_STATE
+        assert "hint" in capsys.readouterr().err
+
+    def test_inspect_torn_header_is_corrupt_state(self, tmp_path, capsys):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"kind": "upload-tr')  # half a JSON header
+        rc = run_cli("repro-traces", lambda: main(["inspect", str(torn)]))
+        assert rc == EXIT_CORRUPT_STATE
+        assert "torn" in capsys.readouterr().err

@@ -86,9 +86,11 @@ class TestResultCache:
         entry.write_bytes(b"not a zipfile")
         assert cache.get(KEY) is None
         assert cache.quarantined == 1
-        # Quarantined, not deleted: both files moved under corrupt/.
+        # Quarantined, not deleted: both files moved under corrupt/,
+        # renamed with a content-digest tag against repeat collisions.
         assert not entry.exists()
-        assert (tmp_path / "corrupt" / entry.name).exists()
+        (moved,) = (tmp_path / "corrupt").glob(f"{entry.stem}.*.npz")
+        assert moved.read_bytes() == b"not a zipfile"
         assert list((tmp_path / "corrupt").glob("*.json"))
 
     def test_digest_mismatch_is_a_miss_and_quarantined(self, tmp_path):
@@ -98,6 +100,45 @@ class TestResultCache:
         np.savez_compressed(entry, x=np.zeros(4))  # loadable, wrong contents
         assert cache.get(KEY) is None
         assert cache.quarantined == 1
+
+    def test_orphaned_sidecar_is_a_miss_and_quarantined(self, tmp_path):
+        # Crash between sidecar and payload publish: json without npz.
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": np.ones(4)})
+        (entry,) = tmp_path.glob("*.npz")
+        entry.unlink()
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+        assert not list(tmp_path.glob("*.json"))  # swept, not left behind
+        assert list((tmp_path / "corrupt").glob("*.json"))
+
+    def test_orphaned_payload_is_a_miss_and_quarantined(self, tmp_path):
+        # The opposite orientation: npz without json.
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": np.ones(4)})
+        (meta,) = tmp_path.glob("*.json")
+        meta.unlink()
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+        assert not list(tmp_path.glob("*.npz"))
+        assert list((tmp_path / "corrupt").glob("*.npz"))
+
+    def test_repeat_quarantine_keeps_every_generation(self, tmp_path):
+        # The same entry name corrupted twice with different bytes must
+        # land as two distinct files: digest-tagged names prevent the
+        # second quarantine from clobbering the first (evidence loss).
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"x": np.ones(4)})
+        (entry,) = tmp_path.glob("*.npz")
+        entry.write_bytes(b"first corruption")
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"x": np.ones(4)})
+        entry.write_bytes(b"second corruption")
+        assert cache.get(KEY) is None
+        moved = sorted((tmp_path / "corrupt").glob(f"{entry.stem}.*.npz"))
+        assert len(moved) == 2
+        assert {p.read_bytes() for p in moved} == \
+            {b"first corruption", b"second corruption"}
 
     def test_sidecar_digest_matches_contents(self, tmp_path):
         cache = ResultCache(tmp_path)

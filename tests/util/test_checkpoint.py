@@ -85,7 +85,8 @@ class TestIntegrity:
         data_path.write_bytes(data_path.read_bytes()[:10])
         assert store.get_chunk(0) is None
         assert store.quarantined == 1
-        assert (store.run_dir / "corrupt" / data_path.name).exists()
+        assert list((store.run_dir / "corrupt").glob(
+            f"{data_path.stem}.*.npz"))
         assert store.get_chunk(0) is None  # stays missing, no crash
 
     def test_digest_mismatch_quarantined(self, store):
@@ -101,6 +102,18 @@ class TestIntegrity:
         meta_path.unlink()
         assert store.get_chunk(0) is None
         assert store.quarantined == 1
+
+    def test_orphaned_sidecar_quarantined(self, store):
+        # The other orientation: json published, npz lost to a crash.
+        store.put_chunk(0, {"x": np.ones(8)})
+        data_path, meta_path = store._chunk_paths(0)
+        data_path.unlink()
+        assert store.get_chunk(0) is None
+        assert store.quarantined == 1
+        assert not meta_path.exists()  # swept into corrupt/, not left
+        assert list((store.run_dir / "corrupt").glob(
+            f"{meta_path.stem}.*.json"))
+        assert 0 not in store.completed_chunks()
 
     def test_sidecar_records_content_digest(self, store):
         arrays = {"x": np.arange(6.0)}

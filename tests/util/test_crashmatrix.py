@@ -1,0 +1,138 @@
+"""Crash-point matrix: every durable-write site survives process death.
+
+Marked ``chaos``: this is the fault-injection subset CI runs as its own
+job (with ``PYTHONFAULTHANDLER=1``) and whose report it uploads as an
+artifact.  The matrix itself is deterministic — every cell replays
+bit-for-bit — so these tests also run fine in the ordinary suite.
+"""
+
+import json
+
+import pytest
+
+from repro.util import crashmatrix
+from repro.util.crashmatrix import (
+    ALL_SITES,
+    CACHE_SITES,
+    CHECKPOINT_SITES,
+    CellResult,
+    MatrixReport,
+    kinds_for,
+    main,
+    run_matrix,
+)
+from repro.util.errors import EXIT_FATAL, EXIT_OK
+from repro.util.iofaults import REPLACE_KINDS, WRITE_KINDS
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    # The full matrix is deterministic and moderately expensive; run it
+    # once per module and assert against the shared report.
+    return run_matrix(tmp_path_factory.mktemp("matrix"))
+
+
+class TestEnumeration:
+    def test_every_site_has_a_valid_type(self):
+        assert set(ALL_SITES.values()) <= {"write", "replace"}
+
+    def test_kinds_per_site_type(self):
+        assert kinds_for("write") == WRITE_KINDS
+        assert kinds_for("replace") == REPLACE_KINDS
+
+    def test_cache_and_checkpoint_sites_disjoint(self):
+        assert not set(CACHE_SITES) & set(CHECKPOINT_SITES)
+
+    def test_observed_sites_match_enumeration(self, report):
+        # The machine check: a durable write added without a site (or a
+        # renamed site) makes observed != enumerated and fails here.
+        assert report.observed_sites == report.enumerated_sites
+        assert report.enumeration_complete
+
+
+class TestMatrix:
+    def test_every_cell_passes(self, report):
+        assert report.failures() == []
+        assert report.passed
+
+    def test_covers_every_site_and_kind(self, report):
+        covered = {(c.site, c.kind) for c in report.cells}
+        expected = {(site, kind)
+                    for site, site_type in ALL_SITES.items()
+                    for kind in kinds_for(site_type)}
+        assert covered == expected
+
+    def test_every_fault_actually_fired(self, report):
+        # A cell whose fault never fired means the workload no longer
+        # reaches that site — the matrix would be testing nothing.
+        assert all(cell.fault_fired for cell in report.cells)
+
+    def test_crash_kinds_propagated_as_death(self, report):
+        for cell in report.cells:
+            if cell.kind in ("crash", "torn"):
+                assert cell.crashed, (cell.site, cell.kind)
+
+    def test_checkpoint_chunk_cells_exercise_mixed_resume(self, report):
+        # Chunk-level cells kill call 1, so recovery resumes chunk 0
+        # from disk while recomputing the rest — the interesting case.
+        for cell in report.cells:
+            if cell.store == "checkpoint" and (
+                    ".payload." in cell.site or ".sidecar." in cell.site):
+                assert cell.call_index == 1
+
+
+class TestReportShape:
+    def test_as_dict_is_json_serialisable(self, report):
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["passed"] is True
+        assert payload["n_cells"] == len(report.cells)
+        assert payload["n_failed"] == 0
+        assert payload["unenumerated"] == []
+        assert payload["unobserved"] == []
+
+    def test_failure_detection(self):
+        bad = CellResult("cache", "cache.payload.write", "enospc", 0,
+                         fault_fired=True, crashed=False,
+                         recovered_identical=False,
+                         quarantine_monotone=True)
+        report = MatrixReport((bad,), frozenset({"s"}), frozenset({"s"}))
+        assert not report.passed
+        assert report.failures() == [bad]
+
+    def test_unfired_fault_fails_the_cell(self):
+        stale = CellResult("cache", "cache.payload.write", "enospc", 0,
+                           fault_fired=False, crashed=False,
+                           recovered_identical=True,
+                           quarantine_monotone=True)
+        assert not stale.ok
+
+    def test_enumeration_mismatch_fails_the_report(self):
+        report = MatrixReport((), frozenset({"a"}), frozenset({"a", "b"}))
+        assert not report.enumeration_complete
+        assert not report.passed
+        assert report.as_dict()["unenumerated"] == ["b"]
+
+
+class TestCli:
+    def test_writes_report_artifact(self, tmp_path, capsys):
+        out = tmp_path / "artifacts" / "CRASH_MATRIX.json"
+        assert main(["--out", str(out)]) == EXIT_OK
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        stdout = capsys.readouterr().out
+        assert "0 failed" in stdout
+        assert "enumeration complete" in stdout
+
+    def test_exit_fatal_on_failure(self, monkeypatch, capsys):
+        broken = CellResult("cache", "cache.payload.write", "enospc", 0,
+                            fault_fired=True, crashed=False,
+                            recovered_identical=False,
+                            quarantine_monotone=True)
+        monkeypatch.setattr(
+            crashmatrix, "run_matrix",
+            lambda workdir=None: MatrixReport(
+                (broken,), frozenset({"s"}), frozenset({"s"})))
+        assert main([]) == EXIT_FATAL
+        assert "FAIL" in capsys.readouterr().out
