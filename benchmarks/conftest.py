@@ -48,6 +48,25 @@ def at_full_trace_scale() -> bool:
     return bench_trace_snapshots() >= FULL_TRACE_SNAPSHOTS
 
 
+ARCH_GRIDS_ENV = "REPRO_BENCH_ARCH_GRIDS"
+FULL_ARCH_GRIDS = 100
+
+
+def bench_arch_grids() -> int:
+    """EWLAN grid count for the architecture benches.
+
+    Defaults to the Fig. 7 evaluation scale (100 grids; residential
+    rows scale at 3x the grid count).  ``REPRO_BENCH_ARCH_GRIDS``
+    shrinks it for CI smoke runs, where the speedup floor relaxes.
+    """
+    return int(os.environ.get(ARCH_GRIDS_ENV, FULL_ARCH_GRIDS))
+
+
+def at_full_arch_scale() -> bool:
+    """True when architecture benches run at the Fig. 7 default scale."""
+    return bench_arch_grids() >= FULL_ARCH_GRIDS
+
+
 def run_once(benchmark, fn: Callable, **kwargs):
     """Benchmark an expensive figure exactly once (no warmup rounds)."""
     return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)

@@ -1,0 +1,125 @@
+"""Bench: batched architecture sweeps — the Section 4 / Fig. 7 engines.
+
+The headline claim: end-to-end ``fig7.compute`` (EWLAN grids +
+residential rows + mesh geometry sweep, all through the batched
+pair-scenario engine and the supervised runner) beats the frozen
+scalar reference ``fig7.compute_scalar`` by >= 10x at the default
+Fig. 7 sweep size, while returning bit-identical reports.  The
+supporting claim: the MAC simulator's batched ``plan_schedule``
+reproduces the frozen per-slot planner bit for bit at a multiple of
+the speed.
+
+The CI smoke job runs this module with ``--benchmark-json`` to emit
+``BENCH_architectures.json``; ``REPRO_BENCH_ARCH_GRIDS`` shrinks the
+grid count there, and the speedup floor relaxes below full scale
+(house convention: benches soften their tightest assertions in smoke
+runs).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import at_full_arch_scale, bench_arch_grids, emit, run_once
+
+from repro.experiments import fig7
+from repro.phy.shannon import Channel
+from repro.scheduling.scheduler import SicScheduler, UploadClient
+from repro.sim.wlan import UplinkSimulator
+from repro.techniques.pairing import TechniqueSet
+from repro.util.cache import ResultCache
+from repro.util.timing import PhaseTimer
+
+
+def best_of(fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fig7_architecture_sweep_speedup(benchmark):
+    """The PR's headline number: batched EWLAN/residential/mesh sweeps
+    vs the frozen scalar pipeline, end to end, bit-identical reports
+    required."""
+    n_grids = bench_arch_grids()
+    kw = dict(n_ewlan_grids=n_grids, n_residential_rows=3 * n_grids,
+              seed=2010)
+    no_cache = ResultCache(None)  # timing runs must never cache-hit
+
+    fast = fig7.compute(**kw, cache=no_cache)
+    scalar = fig7.compute_scalar(**kw)
+    assert fast["ewlan"] == scalar["ewlan"]
+    assert fast["residential"] == scalar["residential"]
+    assert fast["mesh"] == scalar["mesh"]
+    assert fast["mesh_frontier"] == scalar["mesh_frontier"]
+
+    fast_s = best_of(lambda: fig7.compute(**kw, cache=no_cache), 3)
+    scalar_s = best_of(lambda: fig7.compute_scalar(**kw), 1)
+    speedup = scalar_s / fast_s
+
+    timer = PhaseTimer()
+    result = run_once(benchmark,
+                      lambda: fig7.compute(**kw, cache=no_cache,
+                                           timer=timer))
+    benchmark.extra_info["fast_s"] = fast_s
+    benchmark.extra_info["scalar_s"] = scalar_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["n_ewlan_pairs"] = result["ewlan"].n_pairs
+    benchmark.extra_info["n_residential_pairs"] = \
+        result["residential"].n_pairs
+    for phase, seconds in timer.phases.items():
+        benchmark.extra_info[f"{phase}_s"] = seconds
+
+    emit([f"Fig. 7 architecture sweeps ({result['ewlan'].n_pairs} EWLAN + "
+          f"{result['residential'].n_pairs} residential pairs): "
+          f"{fast_s * 1e3:.0f} ms vs scalar {scalar_s * 1e3:.0f} ms "
+          f"-> {speedup:.1f}x",
+          "  phases: " + ", ".join(f"{p} {s * 1e3:.0f} ms"
+                                   for p, s in timer.phases.items())])
+    floor = 10.0 if at_full_arch_scale() else 6.0
+    assert speedup >= floor
+
+
+def test_plan_schedule_speedup(benchmark):
+    """Batched MAC-sim slot planning vs the frozen per-slot planner on
+    a large schedule, bit-identical plans required.
+
+    Timed on the plain pairing scheduler (solo/SERIAL/SIC slots — the
+    fully batched surface); the power-control / multirate expansions
+    deliberately keep the scalar per-slot path, so a TechniqueSet.ALL
+    schedule is only checked for bit-identity, not speed.
+    """
+    channel = Channel()
+    rng = np.random.default_rng(2010)
+    clients = [UploadClient(f"C{i + 1}", float(rss)) for i, rss
+               in enumerate(10 ** rng.uniform(-12.5, -8, size=400))]
+    scheduler = SicScheduler(channel=channel, techniques=TechniqueSet.NONE)
+    schedule = scheduler.schedule(clients)
+    simulator = UplinkSimulator(channel=channel)
+    rss = {c.name: c.rss_w for c in clients}
+
+    assert simulator.plan_schedule(schedule, rss) == \
+        simulator.plan_schedule_scalar(schedule, rss)
+    all_schedule = SicScheduler(
+        channel=channel, techniques=TechniqueSet.ALL).schedule(clients)
+    assert simulator.plan_schedule(all_schedule, rss) == \
+        simulator.plan_schedule_scalar(all_schedule, rss)
+
+    fast_s = best_of(lambda: simulator.plan_schedule(schedule, rss), 5)
+    scalar_s = best_of(
+        lambda: simulator.plan_schedule_scalar(schedule, rss), 3)
+    speedup = scalar_s / fast_s
+
+    run_once(benchmark, lambda: simulator.plan_schedule(schedule, rss))
+    benchmark.extra_info["fast_s"] = fast_s
+    benchmark.extra_info["scalar_s"] = scalar_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["n_slots"] = len(schedule.slots)
+
+    emit([f"MAC-sim slot planning ({len(schedule.slots)} slots): "
+          f"{fast_s * 1e3:.1f} ms vs scalar {scalar_s * 1e3:.1f} ms "
+          f"-> {speedup:.1f}x"])
+    assert speedup >= 2.5

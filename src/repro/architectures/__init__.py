@@ -11,20 +11,27 @@ The paper walks three deployment archetypes and asks where SIC pays:
 * :mod:`repro.architectures.mesh` — multihop chains (Fig. 7c):
   long-short-long hop patterns enable SIC at the middle node
   (self-interference overlap), equalised chains break it.
+
+Each sweep ships as a frozen scalar reference (``*_scalar``) plus a
+batched fast path that is bit-identical to it — see
+``docs/architecture_performance.md``.
 """
 
 from repro.architectures.ewlan import (
     EwlanCrossPairReport,
     evaluate_ewlan_cross_pairs,
+    evaluate_ewlan_cross_pairs_scalar,
 )
 from repro.architectures.mesh import (
     ChainAnalysis,
     analyse_chain,
     sweep_chain_geometries,
+    sweep_chain_geometries_scalar,
 )
 from repro.architectures.residential import (
     ResidentialReport,
     evaluate_residential_rows,
+    evaluate_residential_rows_scalar,
     residential_downlink_pairs,
 )
 
@@ -34,7 +41,10 @@ __all__ = [
     "ResidentialReport",
     "analyse_chain",
     "evaluate_ewlan_cross_pairs",
+    "evaluate_ewlan_cross_pairs_scalar",
     "evaluate_residential_rows",
+    "evaluate_residential_rows_scalar",
     "residential_downlink_pairs",
     "sweep_chain_geometries",
+    "sweep_chain_geometries_scalar",
 ]

@@ -1,0 +1,132 @@
+"""Shared batched evaluation for the architecture pair sweeps.
+
+The EWLAN and residential studies both reduce to the same shape of
+work: sample thousands of cross-AP / cross-home transmitter pairs, turn
+link distances into RSS, and classify each pair against the Fig. 5
+taxonomy.  This module holds the pieces both engines share:
+
+* :class:`PairDistanceBatch` — the picklable chunk config carrying the
+  pre-sampled link geometry (and pre-drawn shadowing) of N pairs;
+* :func:`pair_scenario_chunk` — the pure chunk function the supervised
+  indexed runner fans out to worker processes;
+* the aggregation helpers that rebuild the scalar engines' report
+  fields bit for bit from the merged arrays.
+
+The split keeps the generator stream entirely in the sampling phase
+(distances and shadowing draws happen in the driver, replaying the
+scalar stream draw for draw), so every chunk is a pure function of
+``(config, start, n)`` and the merged result is independent of chunk
+size and worker count — the property the golden tests pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.phy.pathloss import PropagationModel
+from repro.phy.shannon import Channel
+from repro.sic.scenarios import (
+    CASE_ORDER,
+    PairCase,
+    evaluate_pair_scenario_batch,
+)
+from repro.util.units import db_to_linear
+
+#: Sampled pairs per supervised chunk — fixed (not derived from the
+#: worker count) so the chunk layout, and with it every cache and
+#: checkpoint key, is identical for serial and parallel runs.
+PAIR_CHUNK = 512
+
+
+@dataclass(frozen=True)
+class PairDistanceBatch:
+    """Picklable chunk config: pre-sampled link geometry of N pairs.
+
+    ``distances_m[k]`` holds the four near-field-clamped Tx-Rx
+    distances of pair ``k`` in ``(s11, s12, s21, s22)`` order;
+    ``shadow_db`` carries the pre-drawn log-normal shadowing
+    realisations in the same layout (``None`` for deterministic
+    propagation).  Pre-drawing keeps all generator state in the
+    sampling phase, which is what makes the chunks pure.
+    """
+
+    distances_m: np.ndarray
+    shadow_db: Optional[np.ndarray]
+    tx_power_w: float
+    packet_bits: float
+    channel: Channel
+    propagation: PropagationModel
+
+
+def pair_scenario_chunk(batch: PairDistanceBatch, start: int,
+                        n: int) -> Dict[str, np.ndarray]:
+    """Evaluate pairs ``[start, start + n)`` of a pre-sampled batch.
+
+    Replays the scalar RSS pipeline step for step — per-element path
+    gain (:meth:`~repro.phy.pathloss.PropagationModel.path_gain_batch`),
+    multiply by tx power, apply the pre-drawn shadowing through
+    ``db_to_linear`` — each step pinned bit-identical to the scalar
+    ``received_power`` call — then the batched Fig. 5 analysis.
+    """
+    distances = batch.distances_m[start:start + n]
+    gain = batch.propagation.path_gain_batch(distances)
+    power = batch.tx_power_w * np.asarray(gain, dtype=float)
+    if batch.shadow_db is not None:
+        linear = np.asarray(db_to_linear(batch.shadow_db[start:start + n]),
+                            dtype=float)
+        power = power * linear
+    scenarios = evaluate_pair_scenario_batch(
+        batch.channel, batch.packet_bits,
+        power[:, 0], power[:, 1], power[:, 2], power[:, 3])
+    return {"case_codes": scenarios.case_codes,
+            "sic_feasible": scenarios.sic_feasible,
+            "gains": scenarios.gains}
+
+
+def sorted_case_fractions(case_codes: np.ndarray,
+                          n_pairs: int) -> Dict[PairCase, float]:
+    """Observed-case mix keyed in Fig. 5 letter order.
+
+    Deterministically ordered (unlike ``Counter`` insertion order) and
+    value-identical to the scalar engines' ``count / n_pairs`` integer
+    divisions; cases that never occurred are omitted, matching the
+    scalar bookkeeping.
+    """
+    counts = np.bincount(case_codes, minlength=len(CASE_ORDER))
+    return {case: int(count) / n_pairs
+            for case, count in zip(CASE_ORDER, counts) if count}
+
+
+def sequential_sum(values: np.ndarray) -> float:
+    """Left-to-right Python accumulation over ``values``.
+
+    Matches the scalar engines' ``total += gain`` loop exactly;
+    ``np.sum`` associates terms pairwise and rounds differently.
+    """
+    total = 0.0
+    for value in values.tolist():
+        total += value
+    return total
+
+
+def pair_sweep_cache_key(architecture: str, params: Mapping[str, object],
+                         channel: Channel, propagation: PropagationModel,
+                         seed_token: object) -> Optional[Dict[str, object]]:
+    """Worker-count-invariant cache key for one architecture sweep.
+
+    ``None`` (uncacheable — no result cache, no checkpoints) when the
+    seed has no stable token (OS entropy, stateful generators) or the
+    propagation model is not a dataclass the key can canonicalise.
+    """
+    if seed_token is None or not dataclasses.is_dataclass(propagation):
+        return None
+    return {"architecture": architecture,
+            **dict(params),
+            "channel": dataclasses.asdict(channel),
+            "propagation": {"model": type(propagation).__name__,
+                            **dataclasses.asdict(propagation)},
+            "seed": seed_token}

@@ -78,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 #: Figures whose compute() threads the supervised-execution knobs.
-_SUPERVISED_FIGURES = ("fig6", "fig11", "fig13", "fig14")
+_SUPERVISED_FIGURES = ("fig6", "fig7", "fig11", "fig13", "fig14")
 
 
 def _kwargs_for(figure: str, args: argparse.Namespace) -> dict:

@@ -264,3 +264,23 @@ def evaluate_pair_scenarios_batch(channel: Channel, packet_bits: float,
         default=feasible_d)
     return PairScenarioBatch(case_codes=codes, sic_feasible=feasible,
                              z_serial_s=z_serial, z_sic_s=z_sic)
+
+
+def evaluate_pair_scenario_batch(channel: Channel, packet_bits: float,
+                                 s11: np.ndarray, s12: np.ndarray,
+                                 s21: np.ndarray, s22: np.ndarray
+                                 ) -> PairScenarioBatch:
+    """Array-in/array-out :func:`evaluate_pair_scenario` over RSS pairs.
+
+    The entry point the batched architecture sweeps
+    (:mod:`repro.architectures`) call: element ``k`` of the result
+    equals ``evaluate_pair_scenario(channel, packet_bits,
+    PairRss(s11[k], s12[k], s21[k], s22[k]))`` — same case codes, same
+    feasibility verdicts, bit-identical completion times and gains
+    (pinned in ``tests/sic/test_scenarios_batch.py``).  Thin delegating
+    wrapper around :func:`evaluate_pair_scenarios_batch`, kept as a
+    distinct name so the sweep engines read as scenario-per-element
+    maps.
+    """
+    return evaluate_pair_scenarios_batch(channel, packet_bits,
+                                         s11, s12, s21, s22)

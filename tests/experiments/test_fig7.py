@@ -33,6 +33,26 @@ class TestFig7Compute:
         assert a["ewlan"] == b["ewlan"]
         assert a["residential"] == b["residential"]
 
+    def test_bit_identical_to_frozen_scalar_pipeline(self):
+        fast = fig7.compute(n_ewlan_grids=8, n_residential_rows=12,
+                            seed=2010)
+        scalar = fig7.compute_scalar(n_ewlan_grids=8,
+                                     n_residential_rows=12, seed=2010)
+        assert fast["ewlan"] == scalar["ewlan"]
+        assert fast["residential"] == scalar["residential"]
+        assert fast["mesh"] == scalar["mesh"]
+        assert fast["mesh_frontier"] == scalar["mesh_frontier"]
+
+    def test_supervised_knobs_do_not_change_results(self):
+        from repro.util.cache import ResultCache
+        base = fig7.compute(n_ewlan_grids=8, n_residential_rows=12,
+                            seed=3, cache=ResultCache(None))
+        tuned = fig7.compute(n_ewlan_grids=8, n_residential_rows=12,
+                             seed=3, n_workers=2, chunk_size=5,
+                             cache=ResultCache(None))
+        assert tuned["ewlan"] == base["ewlan"]
+        assert tuned["residential"] == base["residential"]
+
 
 class TestFig7Render:
     def test_renders_all_panels(self, result):

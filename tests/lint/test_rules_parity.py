@@ -30,8 +30,12 @@ MANIFEST = SRC / "lint" / "frozen_manifest.json"
 #: Every frozen reference shipped in ``src/repro`` — the acceptance
 #: criterion: the parity index must discover each of these pairs.
 SHIPPED_SCALAR_KEYS = {
+    "repro.architectures.ewlan::evaluate_ewlan_cross_pairs_scalar",
+    "repro.architectures.mesh::sweep_chain_geometries_scalar",
+    "repro.architectures.residential::evaluate_residential_rows_scalar",
     "repro.experiments.fig13::compute_scalar",
     "repro.experiments.fig14::compute_scalar",
+    "repro.experiments.fig7::compute_scalar",
     "repro.experiments.montecarlo::one_receiver_technique_gains_scalar",
     "repro.experiments.montecarlo::two_receiver_scenarios_scalar",
     "repro.experiments.montecarlo::two_receiver_technique_gains_scalar",
@@ -41,6 +45,7 @@ SHIPPED_SCALAR_KEYS = {
     "repro.scheduling.online::_arrival_times_scalar",
     "repro.scheduling.scheduler::SicScheduler.build_cost_graph_scalar",
     "repro.scheduling.scheduler::SicScheduler.schedule_scalar",
+    "repro.sim.wlan::UplinkSimulator.plan_schedule_scalar",
     "repro.traces.downlink::DownlinkTraceGenerator.generate_scalar",
     "repro.traces.synthetic::UploadTraceGenerator.generate_scalar",
 }

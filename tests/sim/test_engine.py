@@ -67,6 +67,76 @@ class TestCancellation:
         drop.cancel()
         assert engine.pending_count == 1
 
+    def test_cancel_already_popped_event_keeps_count(self):
+        engine = EventScheduler()
+        first = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.step() is first
+        first.cancel()  # too late: it already ran
+        assert engine.pending_count == 1
+        assert engine.processed_count == 1
+
+    def test_double_cancel_decrements_once(self):
+        engine = EventScheduler()
+        engine.schedule_at(1.0, lambda: None)
+        drop = engine.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()
+        assert engine.pending_count == 1
+        engine.run()
+        assert engine.processed_count == 1
+        assert engine.pending_count == 0
+
+    def test_cancel_from_callback(self):
+        engine = EventScheduler()
+        fired = []
+        victim = engine.schedule_at(2.0, lambda: fired.append("victim"))
+        engine.schedule_at(1.0, lambda: victim.cancel())
+        engine.run()
+        assert fired == []
+        assert engine.processed_count == 1
+        assert engine.pending_count == 0
+
+
+class TestEdgeCases:
+    def test_schedule_at_exactly_now_fires(self):
+        engine = EventScheduler()
+        engine.schedule_at(3.0, lambda: None)
+        engine.step()
+        fired = []
+        engine.schedule_at(engine.now_s, lambda: fired.append(engine.now_s))
+        engine.run()
+        assert fired == [3.0]
+
+    def test_counts_invariant_under_interleaved_cancel_and_run(self):
+        engine = EventScheduler()
+        events = [engine.schedule_at(float(t), lambda: None)
+                  for t in range(1, 9)]
+        scheduled = len(events)
+        cancelled = 0
+        for event in events[1::2]:
+            event.cancel()
+            cancelled += 1
+            assert engine.pending_count == \
+                scheduled - cancelled - engine.processed_count
+            assert engine.step() is not None
+            assert engine.pending_count == \
+                scheduled - cancelled - engine.processed_count
+        engine.run()
+        assert engine.pending_count == 0
+        assert engine.processed_count == scheduled - cancelled
+
+    def test_pending_count_tracks_pop_and_push(self):
+        engine = EventScheduler()
+        assert engine.pending_count == 0
+        engine.schedule_at(1.0, lambda: engine.schedule_after(
+            1.0, lambda: None))
+        assert engine.pending_count == 1
+        engine.step()  # pops one, callback pushes one
+        assert engine.pending_count == 1
+        engine.run()
+        assert engine.pending_count == 0
+
 
 class TestRun:
     def test_run_until_stops_clock(self):

@@ -54,6 +54,53 @@ class TestCrossValidation:
         assert metrics.concurrency_fraction() == 1.0
 
 
+class TestPlanScheduleGolden:
+    """Batched slot planning must equal the frozen per-slot reference."""
+
+    @pytest.mark.parametrize("techniques", [
+        TechniqueSet.NONE, TechniqueSet.POWER_CONTROL,
+        TechniqueSet.MULTIRATE, TechniqueSet.ALL,
+    ])
+    def test_bit_identical_to_scalar(self, channel, simulator, rng,
+                                     techniques):
+        scheduler = SicScheduler(channel=channel, techniques=techniques)
+        for _ in range(4):
+            clients = make_clients(10 ** rng.uniform(-12.5, -8, size=7))
+            schedule = scheduler.schedule(clients)
+            rss = {c.name: c.rss_w for c in clients}
+            assert simulator.plan_schedule(schedule, rss) == \
+                simulator.plan_schedule_scalar(schedule, rss)
+
+    def test_all_modes_and_tie_break(self, channel, simulator):
+        from repro.scheduling.scheduler import Schedule, ScheduledSlot
+        n0 = channel.noise_w
+        rss = {"C1": 1e6 * n0, "C2": 1e3 * n0, "C3": 1e3 * n0,
+               "C4": 2e5 * n0}
+        slots = (
+            ScheduledSlot(("C1",), 1.0, PairMode.SERIAL),
+            ScheduledSlot(("C1", "C2"), 1.0, PairMode.SERIAL),
+            ScheduledSlot(("C1", "C2"), 1.0, PairMode.SIC),
+            # Exact power tie: the plan's >= tie-break must pick C2.
+            ScheduledSlot(("C2", "C3"), 1.0, PairMode.SIC),
+            ScheduledSlot(("C1", "C2"), 1.0, PairMode.SIC_POWER_CONTROL),
+            ScheduledSlot(("C1", "C4"), 1.0, PairMode.SIC_MULTIRATE),
+        )
+        schedule = Schedule(slots=slots, serial_time_s=6.0)
+        fast = simulator.plan_schedule(schedule, rss)
+        assert fast == simulator.plan_schedule_scalar(schedule, rss)
+        tie_plan = fast[3]
+        assert tie_plan[0].client == "C2" and tie_plan[0].role == "strong"
+
+    def test_unknown_mode_rejected(self, channel, simulator):
+        from repro.scheduling.scheduler import Schedule, ScheduledSlot
+        schedule = Schedule(
+            slots=(ScheduledSlot(("C1", "C2"), 1.0, "bogus"),),
+            serial_time_s=1.0)
+        rss = {"C1": 1e-9, "C2": 1e-10}
+        with pytest.raises(ValueError, match="unknown slot mode"):
+            simulator.plan_schedule(schedule, rss)
+
+
 class TestImperfectCancellation:
     def test_residue_breaks_tight_schedules(self, channel, rng):
         # A schedule costed for perfect cancellation must fail under a
