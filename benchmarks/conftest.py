@@ -67,6 +67,26 @@ def at_full_arch_scale() -> bool:
     return bench_arch_grids() >= FULL_ARCH_GRIDS
 
 
+SUITE_ENV = "REPRO_BENCH_SUITE"
+FULL_SUITE_SAMPLES = 4_000
+
+
+def bench_suite_samples() -> int:
+    """Monte-Carlo scale for the suite bench (``REPRO_BENCH_SUITE``).
+
+    One number drives every figure in the suite bench (grids, rows,
+    snapshots and scenario counts derive from it).  Defaults to a
+    4 000-draw evaluation scale; CI smoke runs shrink it, and the
+    suite bench relaxes its speedup floor below full scale.
+    """
+    return int(os.environ.get(SUITE_ENV, FULL_SUITE_SAMPLES))
+
+
+def at_full_suite_scale() -> bool:
+    """True when the suite bench runs at its full evaluation scale."""
+    return bench_suite_samples() >= FULL_SUITE_SAMPLES
+
+
 def run_once(benchmark, fn: Callable, **kwargs):
     """Benchmark an expensive figure exactly once (no warmup rounds)."""
     return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)

@@ -3,8 +3,13 @@
 Use the registry to run them programmatically::
 
     from repro.experiments.registry import run_experiment
-    for line in run_experiment("fig4", n_points=51):
+    for line in run_experiment("fig4", n_points=51).lines:
         print(line)
+
+several figures at once over one shared worker pool::
+
+    from repro.experiments.suite import run_suite
+    suite = run_suite(["fig6", "fig13"])
 
 or from the command line::
 

@@ -22,7 +22,13 @@ from typing import List, Optional
 import json
 
 from repro.experiments import claims
-from repro.experiments.registry import REGISTRY, jsonify, run_experiment
+from repro.experiments.registry import (
+    REGISTRY,
+    jsonify,
+    ordered_figures,
+    run_experiment,
+)
+from repro.experiments.suite import default_suite_workers, run_suite
 from repro.util.cache import atomic_write_text
 from repro.util.errors import run_cli
 
@@ -80,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
 #: Figures whose compute() threads the supervised-execution knobs.
 _SUPERVISED_FIGURES = ("fig6", "fig7", "fig11", "fig13", "fig14")
 
+#: Figures whose scale responds to --samples (the Monte-Carlo /
+#: trace-driven set); the rest are closed-form or fixed-size.
+_SAMPLES_FIGURES = frozenset(_SUPERVISED_FIGURES)
+
 
 def _kwargs_for(figure: str, args: argparse.Namespace) -> dict:
     kwargs = dict(QUICK_KWARGS.get(figure, {})) if args.quick else {}
@@ -88,9 +98,15 @@ def _kwargs_for(figure: str, args: argparse.Namespace) -> dict:
             kwargs["n_samples"] = args.samples
         elif figure == "fig14":
             kwargs["n_scenarios"] = args.samples
-    if figure in ("fig6", "fig7", "fig11", "fig13", "fig14"):
-        kwargs.setdefault("seed", args.seed)
+        elif figure == "fig7":
+            # One EWLAN grid is the unit; residential rows are cheaper,
+            # so keep the quick-mode 1:3 ratio.
+            kwargs["n_ewlan_grids"] = args.samples
+            kwargs["n_residential_rows"] = 3 * args.samples
+        elif figure == "fig13":
+            kwargs["max_snapshots"] = args.samples
     if figure in _SUPERVISED_FIGURES:
+        kwargs.setdefault("seed", args.seed)
         if args.workers is not None:
             kwargs["n_workers"] = args.workers
         if args.chunk_size is not None:
@@ -98,12 +114,25 @@ def _kwargs_for(figure: str, args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _note_inapplicable_samples(args: argparse.Namespace,
+                               figures: List[str]) -> None:
+    """One consolidated stderr note instead of silently ignoring."""
+    if args.samples is None:
+        return
+    skipped = [figure for figure in figures
+               if figure not in _SAMPLES_FIGURES]
+    if skipped:
+        print("note: --samples does not apply to "
+              + ", ".join(skipped)
+              + " (closed-form or fixed-size figures)", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.figure == "list":
-        for figure, experiment in sorted(REGISTRY.items()):
-            print(f"{figure:>6}: {experiment.description}")
+        for figure in ordered_figures():
+            print(f"{figure:>6}: {REGISTRY[figure].description}")
         return 0
 
     if args.figure == "claims":
@@ -113,30 +142,55 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{claim}: {value}")
         return 0
 
-    figures = sorted(REGISTRY) if args.figure == "all" else [args.figure]
+    figures = ordered_figures() if args.figure == "all" else [args.figure]
     if args.json is not None and len(figures) != 1:
         print("--json needs a single figure, not 'all'", file=sys.stderr)
         return 2
-    report_sections: List[str] = []
     for figure in figures:
         if figure not in REGISTRY:
             print(f"unknown figure {figure!r}; try 'list'", file=sys.stderr)
             return 2
-        experiment = REGISTRY[figure]
-        result = experiment.compute(**_kwargs_for(figure, args))
-        lines = [f"== {experiment.figure}: {experiment.description} =="] \
-            + experiment.render(result)
+    _note_inapplicable_samples(args, figures)
+
+    summary: Optional[List[str]] = None
+    if args.figure == "all":
+        # All figures at once ride the shared suite pool; per-figure
+        # kwargs are exactly the single-figure ones, so suite outputs
+        # stay bit-identical to individual runs.
+        suite = run_suite(
+            figures,
+            {figure: _kwargs_for(figure, args) for figure in figures},
+            n_workers=args.workers or default_suite_workers())
+        runs = [outcome.run for outcome in suite.outcomes
+                if outcome.run is not None]
+        summary = suite.summary_lines()
+    else:
+        runs = [run_experiment(figure, **_kwargs_for(figure, args))
+                for figure in figures]
+
+    report_sections: List[str] = []
+    for run in runs:
         if args.json is not None:
             atomic_write_text(
                 args.json,
-                json.dumps({"figure": figure, "data": jsonify(result)},
+                json.dumps({"figure": run.figure,
+                            "data": jsonify(run.result)},
                            indent=2))
             print(f"json written to {args.json}")
-        for line in lines:
+        for line in run.lines:
             print(line)
         print()
         if args.report is not None:
-            header, *body = lines
+            header, *body = run.lines
+            report_sections.append(
+                f"## {header.strip('= ')}\n\n```\n"
+                + "\n".join(body) + "\n```\n")
+    if summary is not None:
+        for line in summary:
+            print(line)
+        print()
+        if args.report is not None:
+            header, *body = summary
             report_sections.append(
                 f"## {header.strip('= ')}\n\n```\n"
                 + "\n".join(body) + "\n```\n")

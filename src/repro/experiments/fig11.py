@@ -26,6 +26,7 @@ from repro.experiments.montecarlo import (
 )
 from repro.util.cdf import gain_cdf_summary
 from repro.util.rng import SeedLike, spawn_seed_sequences
+from repro.util.timing import PhaseTimer, maybe_phase
 
 
 def compute(n_samples: int = 10_000,
@@ -35,28 +36,33 @@ def compute(n_samples: int = 10_000,
             n_workers: int = 1,
             chunk_size: Optional[int] = None,
             cache: CacheLike = None,
-            policy: PolicyLike = None) -> Dict[str, Dict[str, object]]:
+            policy: PolicyLike = None,
+            timer: Optional[PhaseTimer] = None
+            ) -> Dict[str, Dict[str, object]]:
     """Both panels: per-technique gain samples plus summaries.
 
     Returns ``{"one_receiver": {technique: {...}},
     "two_receivers": {technique: {...}}}`` where each technique entry
-    holds ``gains`` (ndarray) and ``summary`` (dict).
+    holds ``gains`` (ndarray) and ``summary`` (dict).  ``timer``
+    charges one phase per panel (injected by the suite engine).
     """
     config = MonteCarloConfig(n_samples=n_samples, range_m=range_m,
                               pathloss_exponent=pathloss_exponent)
     seed_one, seed_two = spawn_seed_sequences(seed, 2)
 
     result: Dict[str, Dict[str, object]] = {}
-    one = one_receiver_technique_gains(config, seed_one, n_workers=n_workers,
-                                       chunk_size=chunk_size, cache=cache,
-                                       policy=policy)
+    with maybe_phase(timer, "one_receiver"):
+        one = one_receiver_technique_gains(
+            config, seed_one, n_workers=n_workers,
+            chunk_size=chunk_size, cache=cache, policy=policy)
     result["one_receiver"] = {
         technique: {"gains": gains, "summary": gain_cdf_summary(gains)}
         for technique, gains in one.items()
     }
-    two = two_receiver_technique_gains(config, seed_two, n_workers=n_workers,
-                                       chunk_size=chunk_size, cache=cache,
-                                       policy=policy)
+    with maybe_phase(timer, "two_receivers"):
+        two = two_receiver_technique_gains(
+            config, seed_two, n_workers=n_workers,
+            chunk_size=chunk_size, cache=cache, policy=policy)
     result["two_receivers"] = {
         technique: {"gains": gains, "summary": gain_cdf_summary(gains)}
         for technique, gains in two.items()

@@ -26,6 +26,7 @@ from repro.experiments.montecarlo import (
 )
 from repro.util.cdf import gain_cdf_summary
 from repro.util.rng import SeedLike, spawn_seed_sequences
+from repro.util.timing import PhaseTimer, maybe_phase
 
 DEFAULT_RANGES_M = (10.0, 20.0, 40.0)
 
@@ -37,19 +38,24 @@ def compute(ranges_m: Sequence[float] = DEFAULT_RANGES_M,
             n_workers: int = 1,
             chunk_size: Optional[int] = None,
             cache: CacheLike = None,
-            policy: PolicyLike = None) -> Dict[str, Dict[str, object]]:
+            policy: PolicyLike = None,
+            timer: Optional[PhaseTimer] = None
+            ) -> Dict[str, Dict[str, object]]:
     """Gain samples and summaries, one entry per transmitter range.
 
     Returns ``{range_label: {"gains": ndarray, "summary": {...}}}``.
+    ``timer`` charges one ``range=...`` phase per sweep entry (the suite
+    engine injects one to break suite wall time down per figure).
     """
     seeds = spawn_seed_sequences(seed, len(ranges_m))
     results: Dict[str, Dict[str, object]] = {}
     for range_m, range_seed in zip(ranges_m, seeds):
         config = MonteCarloConfig(n_samples=n_samples, range_m=range_m,
                                   pathloss_exponent=pathloss_exponent)
-        gains, case_fractions = two_receiver_scenarios(
-            config, range_seed, n_workers=n_workers,
-            chunk_size=chunk_size, cache=cache, policy=policy)
+        with maybe_phase(timer, f"range={range_m:g}m"):
+            gains, case_fractions = two_receiver_scenarios(
+                config, range_seed, n_workers=n_workers,
+                chunk_size=chunk_size, cache=cache, policy=policy)
         results[f"range={range_m:g}m"] = {
             "gains": gains,
             "summary": gain_cdf_summary(gains),

@@ -7,8 +7,9 @@ what regenerates each figure.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.experiments import (
     fig2,
@@ -174,12 +175,53 @@ def jsonify(value):
     return repr(value)
 
 
-def run_experiment(figure: str, **kwargs) -> List[str]:
-    """Compute one figure and return its printable rows."""
+def figure_sort_key(figure: str) -> Tuple[int, str]:
+    """Paper-order sort key: ``fig2`` before ``fig10``, not after.
+
+    Plain ``sorted(REGISTRY)`` is lexicographic (fig10, fig11, …, fig2)
+    — every ``all``/``list`` consumer sorts through this key instead.
+    Unparsable identifiers sort last, alphabetically.
+    """
+    match = re.match(r"fig(\d+)$", figure)
+    if match is None:
+        return (10**9, figure)
+    return (int(match.group(1)), figure)
+
+
+def ordered_figures() -> List[str]:
+    """All registered figure identifiers in paper order."""
+    return sorted(REGISTRY, key=figure_sort_key)
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One computed figure: raw result plus its printable rows.
+
+    ``lines`` starts with the ``== figN: description ==`` header the CLI
+    has always printed; ``result`` is the figure's native return value
+    for ``--json`` dumps and golden comparisons.
+    """
+
+    figure: str
+    description: str
+    result: object
+    lines: List[str]
+
+
+def run_experiment(figure: str, **kwargs) -> ExperimentRun:
+    """Compute and render one figure — the single dispatch point.
+
+    Every execution path (single-figure CLI, ``all`` via the suite
+    engine, the package smoke test) routes through here, so computing
+    and rendering cannot drift apart between paths.
+    """
     if figure not in REGISTRY:
-        known = ", ".join(sorted(REGISTRY))
+        known = ", ".join(ordered_figures())
         raise KeyError(f"unknown figure {figure!r}; known: {known}")
     experiment = REGISTRY[figure]
     result = experiment.compute(**kwargs)
-    return [f"== {experiment.figure}: {experiment.description} =="] \
+    lines = [f"== {experiment.figure}: {experiment.description} =="] \
         + experiment.render(result)
+    return ExperimentRun(figure=experiment.figure,
+                         description=experiment.description,
+                         result=result, lines=lines)

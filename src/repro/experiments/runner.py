@@ -40,6 +40,18 @@ Every recovery path is testable via the deterministic
 :class:`~repro.util.faults.FaultInjector` (seeded, keyed on
 ``(engine, chunk_index, attempt)`` — no wall clock, no global
 randomness).
+
+Two execution substrates share all of the above. By default each pool
+round builds a private ``ProcessPoolExecutor`` (historical behaviour).
+When :attr:`ExecutionPolicy.pool` carries a shared suite pool
+(:class:`repro.experiments.suite.SuitePool`), rounds submit through the
+pool's per-engine lane instead — the supervisor logic (retries,
+watchdog, rebuild escalation, checkpoints) is unchanged; only *where*
+chunks execute moves.  Orthogonally, :attr:`ExecutionPolicy.transport`
+enables the zero-copy chunk transport
+(:mod:`repro.experiments.transport`): workers park large results in
+shared memory and the supervisor decodes them on consumption,
+releasing any abandoned segments on every recovery path.
 """
 
 from __future__ import annotations
@@ -50,10 +62,19 @@ from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future
 from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Union
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Protocol, Union)
 
 import numpy as np
 
+from repro.experiments.transport import (
+    TransportPolicy,
+    TransportStats,
+    decode_chunk,
+    encode_chunk,
+    ensure_resource_tracker,
+    release_chunk,
+)
 from repro.util.cache import ResultCache
 from repro.util.checkpoint import CheckpointStore, checkpoint_dir_from_env
 from repro.util.errors import ResumableInterrupt, TransientError
@@ -62,6 +83,7 @@ from repro.util.rng import SeedLike, spawn_seed_sequences
 
 ChunkResult = Dict[str, np.ndarray]
 ChunkFn = Callable[..., ChunkResult]
+SubmitFn = Callable[..., Future]
 
 
 class ExecutionDegradedWarning(RuntimeWarning):
@@ -106,6 +128,28 @@ class ChunkExecutionError(TransientError, RuntimeError):
 
 class _PoolBroken(Exception):
     """Internal: the current pool round is unusable (rebuild or degrade)."""
+
+
+class SharedRoundLike(Protocol):
+    """One pool round opened against a shared worker pool."""
+
+    def submit(self, fn: Callable[..., object], *args: object) -> Future:
+        """Queue one chunk attempt on the shared pool's lane."""
+
+    def broken(self) -> None:
+        """The supervisor declared this round broken; rebuild if still
+        on the generation this round was opened against."""
+
+    def abandon(self, futures: Iterable[Future]) -> None:
+        """Futures the supervisor will never consume: release any
+        transported result they already carry (or will carry)."""
+
+
+class SharedPoolLike(Protocol):
+    """A persistent pool shared by many supervisors (suite engine)."""
+
+    def open_round(self, lane: str) -> SharedRoundLike:
+        """Open a submission round on ``lane`` (one lane per engine)."""
 
 
 @dataclass(frozen=True)
@@ -200,6 +244,18 @@ class ExecutionPolicy:
     ``watchdog`` supervises pooled rounds for hung workers; when it is
     unset, a bare ``worker_timeout_s`` (the pre-watchdog knob, kept for
     compatibility) arms a heartbeat-only watchdog.
+
+    ``pool`` plugs in a *shared* worker pool (the suite engine's
+    :class:`repro.experiments.suite.SuitePool`, or anything matching
+    its ``open_round``/``abandon`` protocol): pooled rounds then submit
+    chunks to that pool's per-engine lane instead of building and
+    tearing down a private ``ProcessPoolExecutor``, and a broken round
+    asks the shared pool to rebuild.  ``transport`` opts pooled chunk
+    results into the shared-memory transport
+    (:mod:`repro.experiments.transport`); ``transport_stats`` is the
+    parent-side byte counter the suite summary reads.  Neither knob
+    ever changes results — chunks stay pure functions of
+    ``(config, seed, size)``.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -208,6 +264,9 @@ class ExecutionPolicy:
     checkpoint_dir: Optional[Union[str, Path]] = None
     faults: Optional[FaultInjector] = None
     watchdog: Optional[Watchdog] = None
+    pool: Optional["SharedPoolLike"] = None
+    transport: Optional[TransportPolicy] = None
+    transport_stats: Optional[TransportStats] = None
 
     def __post_init__(self) -> None:
         if self.max_pool_rebuilds < 0:
@@ -295,16 +354,24 @@ def _resolve_cache(cache: Optional[ResultCache]) -> ResultCache:
 def _guarded_chunk(chunk_fn: ChunkFn, config: object, seed: SeedLike,
                    n: int, kwargs: Mapping[str, object],
                    faults: Optional[FaultInjector], engine: str,
-                   chunk_index: int, attempt: int) -> ChunkResult:
+                   chunk_index: int, attempt: int,
+                   transport: Optional[TransportPolicy] = None
+                   ) -> Union[ChunkResult, object]:
     """Evaluate one chunk attempt, applying injected faults first.
 
     Module-level (not a closure) so the pool can pickle it; runs inside
     the worker, so an injected fault exercises the same
-    exception-through-``Future`` path a real crash does.
+    exception-through-``Future`` path a real crash does.  ``transport``
+    is set only for pooled attempts: the result then rides a
+    shared-memory segment (descriptor returned) when the payload
+    qualifies, and the supervisor decodes it on receipt.
     """
     if faults is not None:
         faults.check_chunk(engine, chunk_index, attempt)
-    return chunk_fn(config, seed, n, **kwargs)
+    result = chunk_fn(config, seed, n, **kwargs)
+    if transport is not None:
+        return encode_chunk(result, transport)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -350,11 +417,18 @@ class _Supervisor:
         if self.checkpoint is not None:
             self.checkpoint.put_chunk(index, chunk)
 
-    def _submit_args(self, index: int) -> tuple:
+    def _submit_args(self, index: int, pooled: bool = False) -> tuple:
         attempt = self.next_attempt.setdefault(index, 1)
-        return (self.chunk_fn, self.config, self.seeds[index],
+        args = (self.chunk_fn, self.config, self.seeds[index],
                 self.sizes[index], self.kwargs, self.policy.faults,
                 self.engine, index, attempt)
+        if pooled and self.policy.transport is not None:
+            return args + (self.policy.transport,)
+        return args
+
+    def _decoded(self, raw: object) -> ChunkResult:
+        """Materialise a pooled result (shared-memory or pickled)."""
+        return decode_chunk(raw, self.policy.transport_stats)
 
     def _record_chunk_failure(self, index: int, exc: BaseException) -> None:
         """Book a failed attempt; raise when the retry budget is gone."""
@@ -368,7 +442,8 @@ class _Supervisor:
 
     def run(self, n_workers: int) -> Dict[int, ChunkResult]:
         self._restore_checkpointed()
-        if n_workers > 1 and len(self.pending()) > 1:
+        pooled = n_workers > 1 or self.policy.pool is not None
+        if pooled and len(self.pending()) > 1:
             self._run_pooled(n_workers)
         self._run_inline()
         return self.results
@@ -411,28 +486,66 @@ class _Supervisor:
         if faults is not None and faults.should_break_pool(round_index):
             raise _PoolBroken(f"injected pool break (round {round_index})")
         pending = self.pending()
-        workers = min(n_workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures: Dict[Future, int] = {}
-            monitor = None
-            watchdog = self.policy.effective_watchdog()
-            if watchdog is not None:
-                monitor = _WatchdogMonitor(watchdog)
-            try:
-                for index in pending:
-                    futures[pool.submit(
-                        _guarded_chunk, *self._submit_args(index))] = index
-                    if monitor is not None:
-                        monitor.submitted(index)
-                self._drain(pool, futures, monitor)
-            except BrokenExecutor as exc:
-                raise _PoolBroken(str(exc) or type(exc).__name__) from exc
+        if self.policy.pool is not None:
+            self._shared_round(self.policy.pool, pending)
+        else:
+            self._owned_round(n_workers, pending)
 
-    def _drain(self, pool: ProcessPoolExecutor,
+    def _owned_round(self, n_workers: int, pending: List[int]) -> None:
+        """Historical mode: a private pool built for this round only."""
+        workers = min(n_workers, len(pending))
+        if self.policy.transport is not None:
+            ensure_resource_tracker()
+        futures: Dict[Future, int] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                self._submit_and_drain(pool.submit, futures, pending)
+        finally:
+            # The ``with`` exit waited for in-flight attempts, so every
+            # future is settled here; release transported results that
+            # nobody consumed (watchdog cancellations, broken rounds).
+            _release_abandoned(futures)
+
+    def _shared_round(self, shared: SharedPoolLike,
+                      pending: List[int]) -> None:
+        """Suite mode: chunks ride the shared pool's per-engine lane."""
+        handle = shared.open_round(self.engine)
+        futures: Dict[Future, int] = {}
+        try:
+            try:
+                self._submit_and_drain(handle.submit, futures, pending)
+            except _PoolBroken:
+                handle.broken()
+                raise
+        finally:
+            # Futures may still be in flight on the shared pool; the
+            # pool releases their transported results on arrival.
+            handle.abandon(list(futures))
+
+    def _submit_and_drain(self, submit: SubmitFn,
+                          futures: Dict[Future, int],
+                          pending: List[int]) -> None:
+        """Submit every pending chunk through ``submit`` and drain."""
+        monitor = None
+        watchdog = self.policy.effective_watchdog()
+        if watchdog is not None:
+            monitor = _WatchdogMonitor(watchdog)
+        try:
+            for index in pending:
+                futures[submit(
+                    _guarded_chunk,
+                    *self._submit_args(index, pooled=True))] = index
+                if monitor is not None:
+                    monitor.submitted(index)
+            self._drain(submit, futures, monitor)
+        except BrokenExecutor as exc:
+            raise _PoolBroken(str(exc) or type(exc).__name__) from exc
+
+    def _drain(self, submit: SubmitFn,
                futures: Dict[Future, int],
                monitor: Optional[_WatchdogMonitor]) -> None:
         try:
-            self._drain_inner(pool, futures, monitor)
+            self._drain_inner(submit, futures, monitor)
         except (KeyboardInterrupt, ResumableInterrupt):
             # Operator interrupt: flush every chunk whose future already
             # completed into the checkpoint store, then let the
@@ -441,7 +554,7 @@ class _Supervisor:
             self._flush_completed(futures)
             raise
 
-    def _drain_inner(self, pool: ProcessPoolExecutor,
+    def _drain_inner(self, submit: SubmitFn,
                      futures: Dict[Future, int],
                      monitor: Optional[_WatchdogMonitor]) -> None:
         while futures:
@@ -455,15 +568,19 @@ class _Supervisor:
                 try:
                     chunk = future.result()
                 except BrokenExecutor:
+                    # Put the future back so the round's cleanup path
+                    # (abandon / release) still covers its result.
+                    futures[future] = index
                     raise
                 except Exception as exc:  # anything a worker can die of
                     self._record_chunk_failure(index, exc)
-                    futures[pool.submit(
-                        _guarded_chunk, *self._submit_args(index))] = index
+                    futures[submit(
+                        _guarded_chunk,
+                        *self._submit_args(index, pooled=True))] = index
                     if monitor is not None:
                         monitor.submitted(index)
                 else:
-                    self._finish_chunk(index, chunk)
+                    self._finish_chunk(index, self._decoded(chunk))
             if monitor is not None:
                 reason = monitor.expired()
                 if reason is not None:
@@ -477,7 +594,22 @@ class _Supervisor:
             if not future.done() or future.cancelled():
                 continue
             if future.exception() is None:
-                self._finish_chunk(index, future.result())
+                del futures[future]
+                self._finish_chunk(index, self._decoded(future.result()))
+
+
+def _release_abandoned(futures: Dict[Future, int]) -> None:
+    """Unlink transported results of settled-but-unconsumed futures.
+
+    Called after an owned round's pool has shut down (every future is
+    settled by then): any successful result still sitting in ``futures``
+    was never decoded, so its shared-memory segment must be released
+    here or it would outlive the run.
+    """
+    for future in futures:
+        if future.done() and not future.cancelled() \
+                and future.exception() is None:
+            release_chunk(future.result())
 
 
 # ---------------------------------------------------------------------------

@@ -10,11 +10,16 @@ pairs through every layer.
 Timers only ever *measure*; they never feed results, so they use
 ``time.perf_counter`` (monotonic, RPR301-safe).  The clock is
 injectable for tests.
+
+Accumulation is thread-safe: the suite engine runs one figure per
+thread, each charging phases into its own timer, then folds them into
+one suite-level timer via :meth:`PhaseTimer.merge`.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from threading import Lock
 from time import perf_counter
 from typing import Callable, Dict, Iterator, Optional
 
@@ -34,6 +39,7 @@ class PhaseTimer:
 
     def __init__(self, clock: Callable[[], float] = perf_counter) -> None:
         self._clock = clock
+        self._lock = Lock()
         self._totals: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
 
@@ -45,34 +51,56 @@ class PhaseTimer:
             yield
         finally:
             elapsed = self._clock() - start
-            self._totals[name] = self._totals.get(name, 0.0) + elapsed
-            self._counts[name] = self._counts.get(name, 0) + 1
+            with self._lock:
+                self._totals[name] = self._totals.get(name, 0.0) + elapsed
+                self._counts[name] = self._counts.get(name, 0) + 1
 
     def total_s(self, name: str) -> float:
         """Accumulated seconds charged to ``name`` (0.0 if never entered)."""
-        return self._totals.get(name, 0.0)
+        with self._lock:
+            return self._totals.get(name, 0.0)
 
     def count(self, name: str) -> int:
         """How many times ``name`` was entered."""
-        return self._counts.get(name, 0)
+        with self._lock:
+            return self._counts.get(name, 0)
 
     @property
     def phases(self) -> Dict[str, float]:
         """Snapshot of per-phase totals, in phase-first-seen order."""
-        return dict(self._totals)
+        with self._lock:
+            return dict(self._totals)
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         """JSON-friendly dump: ``{phase: {"total_s": ..., "count": ...}}``."""
-        return {
-            name: {"total_s": self._totals[name],
-                   "count": float(self._counts[name])}
-            for name in self._totals
-        }
+        with self._lock:
+            return {
+                name: {"total_s": self._totals[name],
+                       "count": float(self._counts[name])}
+                for name in self._totals
+            }
+
+    def merge(self, other: "PhaseTimer", prefix: str = "") -> None:
+        """Fold another timer's totals and counts into this one.
+
+        ``prefix`` namespaces the incoming phases (the suite engine
+        merges each figure's timer under ``"figN."``).  The other timer
+        is snapshotted first, so merging a timer into itself is safe.
+        """
+        with other._lock:
+            totals = dict(other._totals)
+            counts = dict(other._counts)
+        with self._lock:
+            for name, total in totals.items():
+                key = prefix + name
+                self._totals[key] = self._totals.get(key, 0.0) + total
+                self._counts[key] = self._counts.get(key, 0) + counts[name]
 
     def reset(self) -> None:
         """Drop all accumulated totals and counts."""
-        self._totals.clear()
-        self._counts.clear()
+        with self._lock:
+            self._totals.clear()
+            self._counts.clear()
 
 
 @contextmanager

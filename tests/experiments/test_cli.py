@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.experiments.__main__ import main
-from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.__main__ import _kwargs_for, build_parser, main
+from repro.experiments.registry import (
+    REGISTRY,
+    figure_sort_key,
+    ordered_figures,
+    run_experiment,
+)
 
 
 class TestRegistry:
@@ -17,9 +22,20 @@ class TestRegistry:
             run_experiment("fig99")
 
     def test_run_experiment_renders_rows(self):
-        rows = run_experiment("fig4", n_points=21)
-        assert rows[0].startswith("== fig4")
-        assert len(rows) > 3
+        run = run_experiment("fig4", n_points=21)
+        assert run.figure == "fig4"
+        assert run.lines[0].startswith("== fig4")
+        assert len(run.lines) > 3
+        assert run.result is not None
+
+    def test_figures_order_numerically(self):
+        assert ordered_figures() == [
+            "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+            "fig10", "fig11", "fig12", "fig13", "fig14"]
+
+    def test_sort_key_handles_unknown_ids(self):
+        assert figure_sort_key("fig2") < figure_sort_key("fig10")
+        assert figure_sort_key("fig10") < figure_sort_key("weird")
 
 
 class TestMain:
@@ -45,6 +61,28 @@ class TestMain:
 
     def test_unknown_figure_fails(self, capsys):
         assert main(["fig99"]) == 2
+
+    def test_list_in_paper_order(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert 0 < out.index("fig2:") < out.index("fig10:")
+
+    def test_samples_scales_fig7_and_fig13(self):
+        args = build_parser().parse_args(["all", "--samples", "7"])
+        fig7_kwargs = _kwargs_for("fig7", args)
+        assert fig7_kwargs["n_ewlan_grids"] == 7
+        assert fig7_kwargs["n_residential_rows"] == 21
+        assert _kwargs_for("fig13", args)["max_snapshots"] == 7
+
+    def test_samples_note_for_inapplicable_figures(self, capsys):
+        assert main(["fig3", "--quick", "--samples", "50"]) == 0
+        err = capsys.readouterr().err
+        assert "--samples does not apply" in err
+        assert "fig3" in err
+
+    def test_samples_no_note_when_applicable(self, capsys):
+        assert main(["fig6", "--quick", "--samples", "50"]) == 0
+        assert "--samples" not in capsys.readouterr().err
 
     def test_claims_quick(self, capsys):
         assert main(["claims", "--quick", "--samples", "100"]) == 0

@@ -1,6 +1,14 @@
 """Markdown-report CLI tests."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 from repro.experiments.__main__ import main
+
+ALL_FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+               "fig10", "fig11", "fig12", "fig13", "fig14")
 
 
 class TestReportFlag:
@@ -23,10 +31,40 @@ class TestReportFlag:
         assert main(["all", "--quick", "--samples", "100",
                      "--report", str(out)]) == 0
         text = out.read_text()
-        for figure in ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
-                       "fig10", "fig11", "fig12", "fig13", "fig14"):
+        for figure in ALL_FIGURES:
             assert f"## {figure}" in text
+        assert "## suite:" in text  # the shared-pool summary section
+        # sections come out in paper order even though figures ran
+        # concurrently on the shared pool
+        assert text.index("## fig2") < text.index("## fig10")
 
     def test_no_report_without_flag(self, tmp_path, capsys):
         assert main(["fig10"]) == 0
         assert "report written" not in capsys.readouterr().out
+
+
+class TestAllQuickSubprocess:
+    """End-to-end: the real CLI process, suite path included."""
+
+    def test_all_quick_end_to_end(self, tmp_path):
+        report = tmp_path / "all.md"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "all", "--quick",
+             "--samples", "40", "--report", str(report)],
+            capture_output=True, text=True, timeout=600, env=env)
+        assert proc.returncode == 0, proc.stderr
+        for figure in ALL_FIGURES:
+            assert f"== {figure}:" in proc.stdout
+        assert "== suite:" in proc.stdout
+        assert "report written" in proc.stdout
+        # the report landed atomically: final file present, no temp
+        # litter from repro.util.cache.atomic_write_text
+        assert report.exists()
+        text = report.read_text()
+        for figure in ALL_FIGURES:
+            assert f"## {figure}" in text
+        leftovers = [p for p in tmp_path.iterdir() if p != report]
+        assert leftovers == []

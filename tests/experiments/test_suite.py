@@ -1,0 +1,204 @@
+"""Suite engine tests: fairness, pool lifecycle, golden bit-identity.
+
+The load-bearing guarantee: running figures through the shared suite
+pool yields results bit-identical to calling each figure's
+``compute()`` directly with the same kwargs — for any worker count,
+chunk size, or interleaving.  Chunks are pure functions of
+``(config, chunk seed, chunk size)`` and the suite never alters a
+figure's chunk layout, so only *where* chunks execute moves.
+"""
+
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig6, fig11, fig13
+from repro.experiments.suite import (
+    LaneQueue,
+    SuitePool,
+    run_suite,
+)
+from repro.experiments.transport import TransportPolicy, active_segments
+
+
+def _square(x):
+    return x * x
+
+
+class TestLaneQueue:
+    def test_round_robin_across_lanes(self):
+        queue = LaneQueue()
+        for item in ("a1", "a2", "a3"):
+            queue.push("a", item)
+        for item in ("b1", "b2"):
+            queue.push("b", item)
+        queue.push("c", "c1")
+        order = [queue.pop() for _ in range(len(queue))]
+        assert order == ["a1", "b1", "c1", "a2", "b2", "a3"]
+
+    def test_pop_empty_raises(self):
+        queue = LaneQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_len_and_lanes(self):
+        queue = LaneQueue()
+        assert len(queue) == 0 and queue.lanes() == []
+        queue.push("x", 1)
+        queue.push("y", 2)
+        assert len(queue) == 2
+        assert set(queue.lanes()) == {"x", "y"}
+        queue.pop()
+        queue.pop()
+        assert len(queue) == 0 and queue.lanes() == []
+
+
+class TestSuitePool:
+    def test_submit_through_round(self):
+        with SuitePool(2) as pool:
+            handle = pool.open_round("lane")
+            futures = [handle.submit(_square, i) for i in range(8)]
+            assert [f.result(timeout=60) for f in futures] \
+                == [i * i for i in range(8)]
+            stats = pool.stats()
+        assert stats["tasks_done"] == 8
+        assert stats["lanes"] == {"lane": 8}
+        assert stats["workers"] == 2
+
+    def test_worker_exception_surfaces_on_proxy(self):
+        with SuitePool(1) as pool:
+            handle = pool.open_round("lane")
+            future = handle.submit(_square, "not-a-number")
+            with pytest.raises(TypeError):
+                future.result(timeout=60)
+
+    def test_rebuild_once_per_generation(self):
+        with SuitePool(1) as pool:
+            first = pool.open_round("a")
+            second = pool.open_round("b")
+            first.broken()
+            second.broken()  # same generation: must not rebuild again
+            assert pool.stats()["rebuilds"] == 1
+            # the pool stays usable after a rebuild
+            fresh = pool.open_round("a")
+            assert fresh.submit(_square, 3).result(timeout=60) == 9
+
+    def test_close_is_idempotent_and_fails_late_submits(self):
+        pool = SuitePool(1)
+        pool.close()
+        pool.close()
+        future = pool.open_round("lane").submit(_square, 2)
+        with pytest.raises(BrokenProcessPool):
+            future.result(timeout=60)
+
+    def test_interrupt_fails_queued_chunks(self):
+        class _Stop(BaseException):
+            pass
+
+        with SuitePool(1) as pool:
+            pool.interrupt(_Stop())
+            future = pool.open_round("lane").submit(_square, 2)
+            with pytest.raises(_Stop):
+                future.result(timeout=60)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            SuitePool(0)
+
+
+def _assert_gain_maps_equal(actual, expected):
+    assert set(actual) == set(expected)
+    for label in expected:
+        if not isinstance(expected[label], dict):
+            assert actual[label] == expected[label]
+            continue
+        for key, value in expected[label].items():
+            if isinstance(value, np.ndarray):
+                assert np.array_equal(actual[label][key], value), \
+                    (label, key)
+            elif isinstance(value, dict):
+                assert actual[label][key] == value, (label, key)
+            else:
+                assert actual[label][key] == value, (label, key)
+
+
+class TestRunSuiteGolden:
+    """Suite-mode outputs are bit-identical to direct compute() calls."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    @pytest.mark.parametrize("chunk_size", [None, 64])
+    def test_fig6_fig11_identical_across_workers_and_chunks(
+            self, n_workers, chunk_size):
+        kwargs = {
+            "fig6": {"n_samples": 200, "seed": 11,
+                     "chunk_size": chunk_size},
+            "fig11": {"n_samples": 200, "seed": 11,
+                      "chunk_size": chunk_size},
+        }
+        suite = run_suite(["fig6", "fig11"], kwargs, n_workers=n_workers)
+        runs = suite.runs()
+
+        direct6 = fig6.compute(**kwargs["fig6"])
+        _assert_gain_maps_equal(runs["fig6"].result, direct6)
+        direct11 = fig11.compute(**kwargs["fig11"])
+        for panel in direct11:
+            _assert_gain_maps_equal(runs["fig11"].result[panel],
+                                    direct11[panel])
+
+    def test_fig13_indexed_runner_identical(self):
+        kwargs = {"fig13": {"max_snapshots": 6, "seed": 3}}
+        suite = run_suite(["fig13"], kwargs, n_workers=2)
+        direct = fig13.compute(max_snapshots=6, seed=3)
+        result = suite.runs()["fig13"].result
+        assert set(result) == set(direct)
+        for label in direct:
+            if label == "meta":
+                assert result[label] == direct[label]
+                continue
+            assert np.array_equal(result[label]["gains"],
+                                  direct[label]["gains"]), label
+
+    def test_outcomes_in_paper_order_regardless_of_request_order(self):
+        suite = run_suite(["fig10", "fig2"], {"fig2": {"n_points": 5}},
+                          n_workers=1)
+        assert [outcome.figure for outcome in suite.outcomes] \
+            == ["fig2", "fig10"]
+
+    def test_transport_exercised_and_no_leaked_segments(self):
+        before = active_segments()
+        kwargs = {"fig6": {"n_samples": 400, "seed": 2,
+                           "chunk_size": 100}}
+        suite = run_suite(["fig6"], kwargs, n_workers=2,
+                          transport=TransportPolicy(min_bytes=1))
+        total = suite.transport["shm_chunks"] \
+            + suite.transport["pickled_chunks"]
+        assert suite.transport["shm_chunks"] > 0
+        assert total >= suite.transport["shm_chunks"]
+        assert active_segments() == before
+        direct = fig6.compute(**kwargs["fig6"])
+        _assert_gain_maps_equal(suite.runs()["fig6"].result, direct)
+
+    def test_summary_lines_cover_pool_and_transport(self):
+        suite = run_suite(["fig2"], {"fig2": {"n_points": 5}}, n_workers=1)
+        text = "\n".join(suite.summary_lines())
+        assert "== suite:" in text
+        assert "fig2" in text
+        assert "pool: utilization" in text
+        assert "transport:" in text
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError, match="unknown figures"):
+            run_suite(["fig99"])
+
+    def test_figure_error_reraised_after_all_settle(self):
+        with pytest.raises(TypeError):
+            run_suite(["fig2", "fig10"],
+                      {"fig2": {"no_such_kwarg": 1}}, n_workers=1)
+
+    def test_borrowed_pool_left_open(self):
+        with SuitePool(1) as pool:
+            run_suite(["fig2"], {"fig2": {"n_points": 5}}, pool=pool)
+            # still usable: run_suite must not close a borrowed pool
+            handle = pool.open_round("after")
+            assert handle.submit(_square, 4).result(timeout=60) == 16

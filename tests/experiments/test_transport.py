@@ -1,0 +1,181 @@
+"""Shared-memory chunk transport: round-trips, fallbacks, leak checks.
+
+The transport must never change results — only how bytes move — so
+every test here is an identity check plus a ``/dev/shm`` scan: after
+any run (including faulted ones) no ``repro_shm_*`` segment survives.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.experiments import transport
+from repro.experiments.runner import ExecutionPolicy, run_chunked
+from repro.experiments.transport import (
+    ShmChunk,
+    TransportPolicy,
+    TransportStats,
+    active_segments,
+    decode_chunk,
+    encode_chunk,
+    release_chunk,
+    shm_available,
+)
+from repro.util.faults import FaultInjector
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="no usable shared memory on this platform")
+
+
+def _payload(n=2048, seed=0):
+    rng = np.random.default_rng(seed)
+    return {"gains": rng.random(n), "cases": rng.integers(0, 4, n)}
+
+
+@dataclass(frozen=True)
+class _TinyConfig:
+    n_samples: int = 400
+
+
+def _payload_chunk(config, seed, n):
+    """Module-level (picklable) chunk fn with a deterministic payload."""
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed)
+    return {"x": rng.random(n), "y": rng.random(n)}
+
+
+class TestRoundTrip:
+    def test_large_arrays_ride_shared_memory(self):
+        before = active_segments()
+        raw = encode_chunk(_payload(), TransportPolicy(min_bytes=1))
+        assert isinstance(raw, ShmChunk)
+        assert raw.total_bytes > 0
+        decoded = decode_chunk(raw)
+        expected = _payload()
+        assert set(decoded) == set(expected)
+        for name in expected:
+            assert np.array_equal(decoded[name], expected[name])
+            assert decoded[name].dtype == expected[name].dtype
+        assert active_segments() == before
+
+    def test_non_contiguous_and_multidim_arrays(self):
+        base = np.arange(600, dtype=np.float64).reshape(20, 30)
+        result = {"strided": base[::2, ::3], "grid": base}
+        raw = encode_chunk(result, TransportPolicy(min_bytes=1))
+        assert isinstance(raw, ShmChunk)
+        decoded = decode_chunk(raw)
+        assert np.array_equal(decoded["strided"], base[::2, ::3])
+        assert np.array_equal(decoded["grid"], base)
+
+    def test_empty_array_survives(self):
+        result = {"big": np.ones(1024), "empty": np.empty(0)}
+        raw = encode_chunk(result, TransportPolicy(min_bytes=1))
+        assert isinstance(raw, ShmChunk)
+        decoded = decode_chunk(raw)
+        assert decoded["empty"].shape == (0,)
+        assert np.array_equal(decoded["big"], result["big"])
+
+
+class TestFallbacks:
+    def test_small_payload_pickles(self):
+        result = {"x": np.ones(4)}
+        assert encode_chunk(result, TransportPolicy()) is result
+
+    def test_disabled_policy_pickles(self):
+        result = _payload()
+        raw = encode_chunk(result, TransportPolicy(min_bytes=1,
+                                                   enabled=False))
+        assert raw is result
+
+    def test_none_policy_pickles(self):
+        result = _payload()
+        assert encode_chunk(result, None) is result
+
+    def test_object_dtype_pickles(self):
+        result = {"big": np.ones(1024),
+                  "weird": np.array([{"a": 1}], dtype=object)}
+        assert encode_chunk(result, TransportPolicy(min_bytes=1)) is result
+
+    def test_non_ndarray_value_pickles(self):
+        result = {"big": np.ones(1024), "scalar": 3.0}
+        assert encode_chunk(result, TransportPolicy(min_bytes=1)) is result
+
+    def test_unavailable_platform_pickles(self, monkeypatch):
+        monkeypatch.setattr(transport, "_AVAILABLE", False)
+        result = _payload()
+        assert encode_chunk(result, TransportPolicy(min_bytes=1)) is result
+
+    def test_negative_min_bytes_rejected(self):
+        with pytest.raises(ValueError, match="min_bytes"):
+            TransportPolicy(min_bytes=-1)
+
+
+class TestRelease:
+    def test_release_is_idempotent(self):
+        raw = encode_chunk(_payload(), TransportPolicy(min_bytes=1))
+        assert isinstance(raw, ShmChunk)
+        release_chunk(raw)
+        release_chunk(raw)  # second release of the same segment: no-op
+        assert raw.segment not in active_segments()
+
+    def test_release_after_decode_is_noop(self):
+        raw = encode_chunk(_payload(), TransportPolicy(min_bytes=1))
+        decode_chunk(raw)
+        release_chunk(raw)
+
+    def test_release_ignores_plain_dicts(self):
+        release_chunk({"x": np.ones(3)})
+        release_chunk(None)
+
+
+class TestStats:
+    def test_decode_records_both_paths(self):
+        stats = TransportStats()
+        raw = encode_chunk(_payload(), TransportPolicy(min_bytes=1))
+        decode_chunk(raw, stats)
+        decode_chunk({"x": np.ones(8)}, stats)
+        snapshot = stats.as_dict()
+        assert snapshot["shm_chunks"] == 1
+        assert snapshot["shm_bytes"] == raw.total_bytes
+        assert snapshot["pickled_chunks"] == 1
+        assert snapshot["pickled_bytes"] == 8 * 8
+
+
+class TestSupervisedRuns:
+    """The transport plugged into run_chunked: identity + no leaks."""
+
+    def test_pooled_run_matches_serial_and_leaves_no_segments(self):
+        before = active_segments()
+        serial = run_chunked("transport_serial", _payload_chunk,
+                             _TinyConfig(), seed=5, code_version=1,
+                             chunk_size=100)
+        stats = TransportStats()
+        policy = ExecutionPolicy(transport=TransportPolicy(min_bytes=1),
+                                 transport_stats=stats)
+        pooled = run_chunked("transport_pooled", _payload_chunk,
+                             _TinyConfig(), seed=5, code_version=1,
+                             n_workers=2, chunk_size=100, policy=policy)
+        for name in serial:
+            assert np.array_equal(serial[name], pooled[name])
+        assert stats.as_dict()["shm_chunks"] > 0
+        assert active_segments() == before
+
+    def test_faulted_run_matches_serial_and_leaves_no_segments(self):
+        before = active_segments()
+        serial = run_chunked("transport_faulted", _payload_chunk,
+                             _TinyConfig(), seed=9, code_version=1,
+                             chunk_size=100)
+        stats = TransportStats()
+        policy = ExecutionPolicy(
+            transport=TransportPolicy(min_bytes=1),
+            transport_stats=stats,
+            faults=FaultInjector(fail_first_attempts=1,
+                                 pool_break_rounds={0}))
+        faulted = run_chunked("transport_faulted", _payload_chunk,
+                              _TinyConfig(), seed=9, code_version=1,
+                              n_workers=2, chunk_size=100, policy=policy)
+        for name in serial:
+            assert np.array_equal(serial[name], faulted[name])
+        assert active_segments() == before
